@@ -1,0 +1,187 @@
+package deepfusion
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its table/figure through the
+// internal/experiments package and prints the rows (repro vs paper) so
+// `go test -bench=. -benchmem | tee bench_output.txt` produces the
+// full reproduction record. Model-quality experiments share one
+// trained bundle and one screening campaign, so the first benchmark
+// that needs them pays the training cost.
+//
+// All learned-model benchmarks run at the Full scale documented in
+// EXPERIMENTS.md; the cluster-simulation benchmarks run at paper scale
+// (2M poses/job, 125 jobs, 500 nodes) because simulated time is free.
+
+import (
+	"fmt"
+	"testing"
+
+	"deepfusion/internal/experiments"
+)
+
+// benchScale is the budget used by the table/figure benchmarks.
+const benchScale = experiments.Full
+
+func BenchmarkTable1SearchSpace(b *testing.B) {
+	var txt string
+	for i := 0; i < b.N; i++ {
+		txt = experiments.Table1()
+	}
+	b.StopTimer()
+	fmt.Println(txt)
+}
+
+func BenchmarkTable2SGCNNHPO(b *testing.B) {
+	var r experiments.HPOResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2SGCNN(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	b.ReportMetric(r.BestLoss, "best-val-mse")
+}
+
+func BenchmarkTable3CNN3DHPO(b *testing.B) {
+	var r experiments.HPOResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3CNN3D(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	b.ReportMetric(r.BestLoss, "best-val-mse")
+}
+
+func BenchmarkTable4MidFusionHPO(b *testing.B) {
+	var r experiments.HPOResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table4MidFusion(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	b.ReportMetric(r.BestLoss, "best-val-mse")
+}
+
+func BenchmarkTable5CoherentHPO(b *testing.B) {
+	var r experiments.HPOResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table5Coherent(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	b.ReportMetric(r.BestLoss, "best-val-mse")
+}
+
+func BenchmarkTable6CoreSet(b *testing.B) {
+	var r experiments.Table6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table6(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	for _, row := range r.Rows {
+		if row.Model == "Coherent Fusion" {
+			b.ReportMetric(row.RMSE, "coherent-rmse")
+			b.ReportMetric(row.Pearson, "coherent-pearson")
+		}
+	}
+}
+
+func BenchmarkFigure2DockedPR(b *testing.B) {
+	var r experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure2(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	b.ReportMetric(r.FusionPearson, "fusion-pearson")
+	b.ReportMetric(r.FusionF1, "fusion-f1")
+}
+
+func BenchmarkTable7Throughput(b *testing.B) {
+	var r experiments.Table7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table7()
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	b.ReportMetric(r.SinglePosesSec, "single-job-poses/s")
+	b.ReportMetric(r.PeakPosesSec, "peak-poses/s")
+}
+
+func BenchmarkFigure4StrongScaling(b *testing.B) {
+	var r experiments.Figure4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure4()
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+}
+
+func BenchmarkFigure5Scatter(b *testing.B) {
+	var r experiments.Figure5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure5(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+}
+
+func BenchmarkTable8Correlations(b *testing.B) {
+	var r experiments.Table8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table8(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+}
+
+func BenchmarkFigure6TargetPR(b *testing.B) {
+	var r experiments.Figure6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure6(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+}
+
+func BenchmarkFigure7TopCompounds(b *testing.B) {
+	var r experiments.Figure7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure7(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+}
+
+func BenchmarkHitRate(b *testing.B) {
+	var r experiments.HitRateResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.HitRate(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(r.Text)
+	b.ReportMetric(100*r.HitRate, "hit-rate-%")
+}
+
+func BenchmarkPipelineSpeedups(b *testing.B) {
+	var r experiments.Table7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table7()
+	}
+	b.StopTimer()
+	fmt.Printf("Section 4.2 speedups: Fusion vs Vina %.1fx (paper 2.7x), vs MM/GBSA %.0fx (paper 403x)\n\n",
+		r.VinaSpeedup, r.GBSASpeedup)
+	b.ReportMetric(r.VinaSpeedup, "vs-vina-x")
+	b.ReportMetric(r.GBSASpeedup, "vs-mmgbsa-x")
+}
+
+// BenchmarkFigure1Architecture renders the paper's architecture figure
+// (Figure 1) from the trained Coherent Fusion model.
+func BenchmarkFigure1Architecture(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.Figure1(benchScale)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}

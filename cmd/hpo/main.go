@@ -1,0 +1,40 @@
+// Command hpo runs the PB2 (Population-Based Bandits) hyper-parameter
+// optimization for one of the paper's models and prints the converged
+// configuration next to the paper's Tables 2-5 values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"deepfusion/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hpo: ")
+	model := flag.String("model", "sgcnn", "model to optimize: sgcnn | cnn3d | mid | coherent")
+	full := flag.Bool("full", false, "use the full benchmark budget")
+	flag.Parse()
+
+	scale := experiments.Smoke
+	if *full {
+		scale = experiments.Full
+	}
+	var res experiments.HPOResult
+	switch *model {
+	case "sgcnn":
+		res = experiments.Table2SGCNN(scale)
+	case "cnn3d":
+		res = experiments.Table3CNN3D(scale)
+	case "mid":
+		res = experiments.Table4MidFusion(scale)
+	case "coherent":
+		res = experiments.Table5Coherent(scale)
+	default:
+		log.Fatalf("unknown model %q (want sgcnn, cnn3d, mid or coherent)", *model)
+	}
+	fmt.Println(res.Text)
+	fmt.Printf("best validation MSE: %.4f\n", res.BestLoss)
+}

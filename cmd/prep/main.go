@@ -1,0 +1,177 @@
+// Command prep is the ligand-preparation stage of the screening
+// pipeline as a standalone tool — the role MOE, antechamber and Open
+// Babel play in the paper's Section 4 workflow (and CDT2Ligand in
+// ConveyorLC): read SMILES or SDF compounds, strip salts, reject
+// metal complexes, set pH-7 protonation states, embed and minimize 3D
+// coordinates, compute the MOE-style descriptor block, and write the
+// prepared structures as SDF or PDBQT.
+//
+// Usage:
+//
+//	prep [-in file.smi|file.sdf|-] [-out file|-] [-format smiles|sdf]
+//	     [-outformat sdf|pdbqt|smiles] [-lipinski] [-seed N] [-v]
+//
+// With no arguments it reads SMILES lines from stdin and writes SDF to
+// stdout. Input lines may carry an optional whitespace-separated name
+// after the SMILES string. Failed compounds are skipped with a warning
+// so one bad record never aborts a library run (the fault-tolerance
+// posture of the paper's pipeline).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"deepfusion/internal/chem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prep: ")
+	in := flag.String("in", "-", "input file (- for stdin)")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	format := flag.String("format", "", "input format: smiles or sdf (default: by extension, else smiles)")
+	outFormat := flag.String("outformat", "sdf", "output format: sdf, pdbqt or smiles")
+	lipinski := flag.Bool("lipinski", false, "keep only compounds passing Lipinski's rule of five")
+	seed := flag.Int64("seed", 7, "embedding seed")
+	verbose := flag.Bool("v", false, "log per-compound descriptors")
+	flag.Parse()
+
+	mols, err := readInput(*in, *format)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w, closeW, err := openOutput(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeW()
+
+	var kept, failed, filtered int
+	for i, m := range mols {
+		prepared, err := chem.Prepare(m, *seed+int64(i))
+		if err != nil {
+			failed++
+			log.Printf("skipping %s: %v", molName(m, i), err)
+			continue
+		}
+		d := chem.ComputeDescriptors(prepared)
+		if *lipinski && !chem.Lipinski(d) {
+			filtered++
+			if *verbose {
+				log.Printf("filtered %s: fails rule of five (MW %.0f, logP %.1f, donors %d, acceptors %d)",
+					molName(prepared, i), d.MolWeight, d.LogP, d.HBondDonors, d.HBondAcceptors)
+			}
+			continue
+		}
+		if *verbose {
+			log.Printf("%s: MW %.1f logP %.2f TPSA %.1f rotors %d rings %d charge %+d",
+				molName(prepared, i), d.MolWeight, d.LogP, d.TPSA,
+				d.RotatableBonds, d.Rings, d.NetCharge)
+		}
+		if err := writeMol(w, prepared, *outFormat); err != nil {
+			log.Fatal(err)
+		}
+		kept++
+	}
+	log.Printf("prepared %d compounds (%d failed, %d filtered)", kept, failed, filtered)
+	if kept == 0 && len(mols) > 0 {
+		os.Exit(1)
+	}
+}
+
+func molName(m *chem.Mol, i int) string {
+	if m.Name != "" {
+		return m.Name
+	}
+	return fmt.Sprintf("compound-%d", i)
+}
+
+// readInput loads compounds from path in the given (or inferred)
+// format.
+func readInput(path, format string) ([]*chem.Mol, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	if format == "" {
+		if strings.HasSuffix(strings.ToLower(path), ".sdf") {
+			format = "sdf"
+		} else {
+			format = "smiles"
+		}
+	}
+	switch format {
+	case "sdf":
+		return chem.ParseSDF(r)
+	case "smiles":
+		return readSMILESLines(r)
+	default:
+		return nil, fmt.Errorf("unknown input format %q (want smiles or sdf)", format)
+	}
+}
+
+// readSMILESLines parses one compound per line: "SMILES [name]".
+// Blank lines and #-comments are skipped; unparseable lines are
+// reported and skipped.
+func readSMILESLines(r io.Reader) ([]*chem.Mol, error) {
+	var mols []*chem.Mol
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		m, err := chem.ParseSMILES(fields[0])
+		if err != nil {
+			log.Printf("line %d: %v", lineNo, err)
+			continue
+		}
+		if len(fields) > 1 {
+			m.Name = fields[1]
+		}
+		mols = append(mols, m)
+	}
+	return mols, sc.Err()
+}
+
+func openOutput(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func writeMol(w io.Writer, m *chem.Mol, format string) error {
+	switch format {
+	case "sdf":
+		return chem.WriteSDF(w, m)
+	case "pdbqt":
+		return chem.WritePDBQT(w, m)
+	case "smiles":
+		_, err := fmt.Fprintf(w, "%s %s\n", chem.WriteSMILES(m), m.Name)
+		return err
+	default:
+		return fmt.Errorf("unknown output format %q (want sdf, pdbqt or smiles)", format)
+	}
+}

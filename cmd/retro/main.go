@@ -1,0 +1,215 @@
+// Command retro is the retrospective analysis of Section 5.2-5.3: it
+// reads the sharded h5lite prediction archives written by cmd/screen,
+// aggregates the per-pose scores to one prediction per compound (the
+// strongest pose per method, as the paper did), reconstructs each
+// compound from its library provenance ID, runs the simulated
+// experimental assay, and reports the correlation and classification
+// quality of every scoring method per target — the repo's equivalent
+// of connecting predictions with experimental results.
+//
+// Usage:
+//
+//	retro -in shards/ [-threshold 33] [-target protease1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deepfusion/internal/assay"
+	"deepfusion/internal/chem"
+	"deepfusion/internal/h5lite"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/metrics"
+	"deepfusion/internal/screen"
+	"deepfusion/internal/target"
+)
+
+// compoundAgg folds all scored poses of one compound to one value per
+// method: maximum predicted pK for Fusion, minimum (most negative)
+// energy for Vina and MM/GBSA.
+type compoundAgg struct {
+	fusion, vina, gbsa float64
+	poses              int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("retro: ")
+	inDir := flag.String("in", "", "directory of prediction shards from cmd/screen (required)")
+	threshold := flag.Float64("threshold", 33, "inhibition %% separating actives from inactives")
+	only := flag.String("target", "", "restrict the analysis to one binding site")
+	flag.Parse()
+	if *inDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	byTarget, err := loadShards(*inDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(byTarget) == 0 {
+		log.Fatal("no predictions found in ", *inDir)
+	}
+
+	names := make([]string, 0, len(byTarget))
+	for name := range byTarget {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if *only != "" && name != *only {
+			continue
+		}
+		tgt := target.ByName(name)
+		if tgt == nil {
+			log.Printf("skipping unknown target %q", name)
+			continue
+		}
+		analyze(tgt, byTarget[name], *threshold)
+	}
+}
+
+// loadShards reads every .h5l file under dir through the screen
+// package's shard reader and merges the per-target pose predictions.
+func loadShards(dir string) (map[string]map[string]*compoundAgg, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.h5l"))
+	if err != nil {
+		return nil, err
+	}
+	var files []*h5lite.File
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		file, err := h5lite.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		files = append(files, file)
+	}
+	preds, err := screen.ReadShards(files)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]*compoundAgg{}
+	for _, pr := range preds {
+		m := out[pr.Target]
+		if m == nil {
+			m = map[string]*compoundAgg{}
+			out[pr.Target] = m
+		}
+		a := m[pr.CompoundID]
+		if a == nil {
+			a = &compoundAgg{fusion: math.Inf(-1), vina: math.Inf(1), gbsa: math.Inf(1)}
+			m[pr.CompoundID] = a
+		}
+		a.fusion = math.Max(a.fusion, pr.Fusion)
+		a.vina = math.Min(a.vina, pr.Vina)
+		a.gbsa = math.Min(a.gbsa, pr.MMGBSA)
+		a.poses++
+	}
+	return out, nil
+}
+
+// analyze joins predictions with the simulated assay and prints the
+// Table 8 / Figure 6 style summary for one target.
+func analyze(tgt *target.Pocket, agg map[string]*compoundAgg, threshold float64) {
+	as := assay.ForTarget(tgt)
+	ids := make([]string, 0, len(agg))
+	for id := range agg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var fus, vin, gbs, inh []float64
+	var skipped int
+	for _, id := range ids {
+		mol, err := molByID(id)
+		if err != nil {
+			skipped++
+			continue
+		}
+		a := agg[id]
+		fus = append(fus, a.fusion)
+		// Use |E| so that "bigger = stronger binder" for every method,
+		// as the paper's Table 8 does.
+		vin = append(vin, math.Abs(a.vina))
+		gbs = append(gbs, math.Abs(a.gbsa))
+		inh = append(inh, as.Inhibition(mol))
+	}
+	if len(inh) == 0 {
+		log.Printf("%s: no compounds could be reconstructed (%d skipped)", tgt.Name, skipped)
+		return
+	}
+
+	fmt.Printf("\n=== %s: %d compounds (%s at %.0f uM, %d unresolvable IDs skipped)\n",
+		tgt.Name, len(inh), as.Kind, as.ConcentrationUM, skipped)
+
+	// >1% inhibition subset, per the paper's Table 8.
+	var f1p, v1p, g1p, i1p []float64
+	labels := make([]bool, len(inh))
+	actives := 0
+	for i, v := range inh {
+		if v > 1 {
+			f1p = append(f1p, fus[i])
+			v1p = append(v1p, vin[i])
+			g1p = append(g1p, gbs[i])
+			i1p = append(i1p, v)
+		}
+		if v > threshold {
+			labels[i] = true
+			actives++
+		}
+	}
+	fmt.Printf("%d compounds with >1%% inhibition; %d actives at the %.0f%% threshold\n",
+		len(i1p), actives, threshold)
+
+	fmt.Printf("%-18s  %9s  %9s  %7s  %7s\n", "method", "PearsonR", "SpearmanR", "bestF1", "kappa")
+	report := func(name string, scores []float64, sub []float64) {
+		var pr, sr float64
+		if len(i1p) >= 3 {
+			pr = metrics.Pearson(sub, i1p)
+			sr = metrics.Spearman(sub, i1p)
+		}
+		f1, thr := metrics.BestF1(scores, labels)
+		pred := make([]bool, len(scores))
+		for i, s := range scores {
+			pred[i] = s >= thr
+		}
+		kappa := metrics.CohenKappa(pred, labels)
+		fmt.Printf("%-18s  %9.3f  %9.3f  %7.3f  %7.3f\n", name, pr, sr, f1, kappa)
+	}
+	report("Vina", vin, v1p)
+	report("MM/GBSA", gbs, g1p)
+	report("Coherent Fusion", fus, f1p)
+}
+
+// molByID reconstructs a compound from its "library:index" provenance
+// ID through the library's native format and preparation pipeline.
+func molByID(id string) (*chem.Mol, error) {
+	name, idxStr, ok := strings.Cut(id, ":")
+	if !ok {
+		return nil, fmt.Errorf("compound ID %q has no library prefix", id)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		return nil, fmt.Errorf("compound ID %q: %w", id, err)
+	}
+	for _, lib := range libgen.All() {
+		if lib.Name == name {
+			return lib.Mol(idx)
+		}
+	}
+	return nil, fmt.Errorf("unknown library %q", name)
+}

@@ -1,0 +1,90 @@
+// Command screen runs the high-throughput virtual screening funnel for
+// one SARS-CoV-2 target: draw compounds from the four libraries,
+// prepare and dock them, score every pose with the distributed
+// Coherent Fusion job, rank compounds with the selection cost function
+// and write the prediction archive as sharded h5lite files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"deepfusion/internal/experiments"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/screen"
+	"deepfusion/internal/target"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("screen: ")
+	targetName := flag.String("target", "protease1", "binding site: protease1 | protease2 | spike1 | spike2")
+	n := flag.Int("n", 24, "compounds to screen")
+	top := flag.Int("top", 10, "compounds to select for experiment")
+	outDir := flag.String("out", "", "directory for h5lite prediction shards (optional)")
+	shards := flag.Int("shards", 4, "output shards (parallel writers)")
+	full := flag.Bool("full", false, "use the full model-training budget")
+	flag.Parse()
+
+	tgt := target.ByName(*targetName)
+	if tgt == nil {
+		log.Fatalf("unknown target %q", *targetName)
+	}
+	scale := experiments.Smoke
+	if *full {
+		scale = experiments.Full
+	}
+
+	fmt.Printf("drawing %d unique compounds from %d libraries...\n", *n, len(libgen.All()))
+	mols := libgen.Draw(libgen.All(), *n)
+
+	fmt.Printf("training models (scale=%v) and docking against %s...\n", scaleName(scale), tgt.Name)
+	coherent := experiments.Coherent(scale)
+	poses, skipped := screen.DockCompounds(tgt, mols, 5, 99)
+	fmt.Printf("docked %d poses (%d compounds skipped)\n", len(poses), skipped)
+
+	jobOpts := screen.DefaultJobOptions()
+	jobOpts.Voxel = coherent.CNN.Cfg.Voxel
+	preds, attempts, err := screen.RunJobWithRetry(coherent, tgt, poses, jobOpts, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fusion job complete after %d attempt(s): %d pose scores\n", attempts, len(preds))
+
+	scores := screen.AggregateByCompound(preds)
+	selected := screen.SelectForExperiment(scores, screen.DefaultCostWeights(), *top)
+	fmt.Printf("\ntop %d candidates for %s:\n", len(selected), tgt.Name)
+	fmt.Printf("%-28s  %8s  %10s  %10s\n", "compound", "pred pK", "vina", "poses")
+	for _, s := range selected {
+		fmt.Printf("%-28s  %8.2f  %10.2f  %10d\n", s.CompoundID, s.Fusion, s.Vina, s.NumPoses)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		files := screen.WriteShards(preds, *shards)
+		for i, f := range files {
+			path := filepath.Join(*outDir, fmt.Sprintf("predictions_%03d.h5l", i))
+			w, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Write(w); err != nil {
+				log.Fatal(err)
+			}
+			w.Close()
+		}
+		fmt.Printf("\nwrote %d prediction shards to %s\n", len(files), *outDir)
+	}
+}
+
+func scaleName(s experiments.Scale) string {
+	if s == experiments.Full {
+		return "full"
+	}
+	return "smoke"
+}

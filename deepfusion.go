@@ -1,0 +1,162 @@
+// Package deepfusion is a pure-Go reproduction of "High-Throughput
+// Virtual Screening of Small Molecule Inhibitors for SARS-CoV-2
+// Protein Targets with Deep Fusion Models" (Stevenson et al., SC 2021).
+//
+// It exposes the screening-facing surface of the system: the four
+// SARS-CoV-2 binding sites, the four compound libraries, training of
+// the 3D-CNN / SG-CNN / Fusion models on a synthetic PDBbind corpus,
+// and the distributed high-throughput screening pipeline. The
+// internal packages hold the substrates (chemistry, docking, MM/GBSA,
+// PB2 hyper-parameter optimization, cluster simulation); see DESIGN.md
+// for the full inventory and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure.
+package deepfusion
+
+import (
+	"fmt"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/md"
+	"deepfusion/internal/pdbbind"
+	"deepfusion/internal/screen"
+	"deepfusion/internal/target"
+)
+
+// Re-exported core types. The aliases keep example and downstream
+// code on one import path.
+type (
+	// Mol is a small molecule (parsed from SMILES or generated).
+	Mol = chem.Mol
+	// Pocket is a protein binding site.
+	Pocket = target.Pocket
+	// Library is a compound collection.
+	Library = libgen.Library
+	// Models bundles the trained predictors of the paper.
+	Models struct {
+		CNN3D    *fusion.CNN3D
+		SGCNN    *fusion.SGCNN
+		Late     *fusion.LateFusion
+		Mid      *fusion.Fusion
+		Coherent *fusion.Fusion
+	}
+	// CompoundScore is a per-compound screening outcome.
+	CompoundScore = screen.CompoundScore
+)
+
+// Targets returns the four SARS-CoV-2 binding sites (protease1,
+// protease2, spike1, spike2).
+func Targets() []*Pocket { return target.All() }
+
+// TargetByName returns a screening target by name, or nil.
+func TargetByName(name string) *Pocket { return target.ByName(name) }
+
+// Libraries returns the four compound libraries of the screen (ZINC
+// world-approved, ChEMBL, eMolecules, Enamine).
+func Libraries() []*Library { return libgen.All() }
+
+// ParseSMILES parses a SMILES string into a molecule.
+func ParseSMILES(s string) (*Mol, error) { return chem.ParseSMILES(s) }
+
+// PrepareLigand runs the MOE-style preparation pipeline: desalt,
+// reject metal complexes, set pH 7 protonation, embed 3D coordinates.
+func PrepareLigand(m *Mol, seed int64) (*Mol, error) { return chem.Prepare(m, seed) }
+
+// TrainOptions sizes a training run.
+type TrainOptions struct {
+	Dataset  pdbbind.Options
+	CNN      fusion.CNN3DConfig
+	SG       fusion.SGCNNConfig
+	Mid      fusion.FusionConfig
+	Coherent fusion.FusionConfig
+	Seed     int64
+}
+
+// DefaultTrainOptions returns the repro-scale configuration (the
+// converged Table 2-5 hyper-parameters, scaled).
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		Dataset:  pdbbind.DefaultOptions(),
+		CNN:      fusion.DefaultCNN3DConfig(),
+		SG:       fusion.DefaultSGCNNConfig(),
+		Mid:      fusion.DefaultMidFusionConfig(),
+		Coherent: fusion.DefaultCoherentConfig(),
+		Seed:     1,
+	}
+}
+
+// Train generates the synthetic PDBbind corpus and trains all five
+// models following the paper's procedure: individual heads first, then
+// Mid-level Fusion on frozen heads, then Coherent Fusion fine-tuning
+// pre-trained heads.
+func Train(o TrainOptions) (*Models, error) {
+	ds := pdbbind.Generate(o.Dataset)
+	train := fusion.FeaturizeDataset(ds.Train, o.CNN.Voxel, o.SG.Graph)
+	val := fusion.FeaturizeDataset(ds.Val, o.CNN.Voxel, o.SG.Graph)
+	if len(train) == 0 || len(val) == 0 {
+		return nil, fmt.Errorf("deepfusion: empty training corpus")
+	}
+	m := &Models{}
+	m.CNN3D, _ = fusion.TrainCNN3D(o.CNN, train, val, o.Seed)
+	m.SGCNN, _ = fusion.TrainSGCNN(o.SG, train, val, o.Seed+1)
+	m.Late = &fusion.LateFusion{CNN: m.CNN3D, SG: m.SGCNN}
+	m.Mid = fusion.NewFusion(o.Mid, m.CNN3D.Clone(), m.SGCNN.Clone(), o.Seed+2)
+	fusion.TrainFusion(m.Mid, train, val, o.Seed+3)
+	m.Coherent = fusion.NewFusion(o.Coherent, m.CNN3D.Clone(), m.SGCNN.Clone(), o.Seed+4)
+	fusion.TrainFusion(m.Coherent, train, val, o.Seed+5)
+	return m, nil
+}
+
+// RefineOptions configures the molecular-dynamics pose refinement
+// stage (minimize, Langevin anneal, quench).
+type RefineOptions = md.Options
+
+// DefaultRefineOptions returns the screening-scale MD protocol.
+func DefaultRefineOptions() RefineOptions { return md.DefaultOptions() }
+
+// RefinePose relaxes a posed ligand in the pocket with the
+// molecular-dynamics funnel stage the paper cites as the step before
+// candidates are finalized for experiments. It returns the refined
+// geometry and its force-field energy in kcal/mol.
+func RefinePose(p *Pocket, mol *Mol, o RefineOptions) (*Mol, float64) {
+	return md.RefinePose(p, mol, o)
+}
+
+// CostWeights returns the default hand-tailored compound-selection
+// cost function (paper Section 5).
+func CostWeights() screen.CostWeights { return screen.DefaultCostWeights() }
+
+// ScreenOptions configures a Screen run.
+type ScreenOptions struct {
+	MaxPoses int // docked poses kept per compound (paper: 10)
+	Job      screen.JobOptions
+	Select   int // compounds to select for experiment (0 = all)
+	Seed     int64
+}
+
+// DefaultScreenOptions mirrors the production funnel at repro scale.
+func DefaultScreenOptions() ScreenOptions {
+	return ScreenOptions{MaxPoses: 5, Job: screen.DefaultJobOptions(), Seed: 1}
+}
+
+// Screen runs the full funnel for one target: dock every compound,
+// score all poses with the distributed Coherent Fusion job, and fold
+// to per-compound scores ranked by the selection cost function.
+func Screen(m *Models, p *Pocket, compounds []*Mol, o ScreenOptions) ([]CompoundScore, error) {
+	poses, _ := screen.DockCompounds(p, compounds, o.MaxPoses, o.Seed)
+	job := o.Job
+	job.Voxel = m.Coherent.CNN.Cfg.Voxel
+	job.Graph = featurize.DefaultGraphOptions()
+	preds, _, err := screen.RunJobWithRetry(m.Coherent, p, poses, job, 3)
+	if err != nil {
+		return nil, err
+	}
+	scores := screen.AggregateByCompound(preds)
+	n := o.Select
+	if n <= 0 || n > len(scores) {
+		n = len(scores)
+	}
+	return screen.SelectForExperiment(scores, screen.DefaultCostWeights(), n), nil
+}

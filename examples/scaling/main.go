@@ -1,0 +1,54 @@
+// scaling reproduces the HPC-side experiments on the Lassen cluster
+// simulator: the anatomy of a single 2M-pose Fusion job, the strong-
+// scaling study of Figure 4, the 125-job peak of Table 7, and a fault-
+// tolerance campaign with failure injection and resubmission.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepfusion/internal/cluster"
+	"deepfusion/internal/experiments"
+)
+
+func main() {
+	m := cluster.Lassen()
+	fmt.Printf("simulated system: %s — %d nodes x %d GPUs, %d-core Power9, %dGB/node\n\n",
+		m.Name, m.Nodes, m.GPUsPerNode, m.CPUCoresPerNode, m.MemoryGBPerNode)
+
+	// Single-job anatomy.
+	rng := rand.New(rand.NewSource(1))
+	job := cluster.SimulateFusionJob(cluster.DefaultFusionJob(), rng)
+	fmt.Printf("single 4-node job (2M poses, batch 56): startup %.0f min, eval %.0f min, output %.1f min -> %.0f poses/s\n\n",
+		job.Startup.Minutes(), job.Eval.Minutes(), job.Output.Minutes(), job.PosesPerSecond())
+
+	// Figure 4 strong scaling.
+	fmt.Println(experiments.Figure4().Text)
+
+	// Table 7 throughput.
+	fmt.Println(experiments.Table7().Text)
+
+	// Fault-tolerant campaign: 30 eight-node jobs (20% failure rate).
+	spec := cluster.DefaultFusionJob()
+	spec.Nodes = 8
+	res, err := cluster.SimulateCampaign(30, 500, spec, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fault-tolerance campaign: 30 x 8-node jobs, %d resubmissions, all %d poses scored in %.1f h\n",
+		res.Resubmissions, res.PosesScored, res.Makespan.Hours())
+	fmt.Printf("(the paper chose 4-node jobs: the 8-node failure rate of %.0f%% wasted too much work)\n\n",
+		100*cluster.FailureRate(8))
+
+	// Gantt view of a small queued campaign (8 jobs on a 16-node
+	// allocation: two waves of four).
+	_, trace, err := cluster.TracedCampaign(8, 16, cluster.DefaultFusionJob(), 11)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("queued campaign (8 x 4-node jobs on 16 nodes):")
+	fmt.Print(cluster.RenderGantt(trace, 64))
+}

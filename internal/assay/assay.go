@@ -1,0 +1,137 @@
+// Package assay simulates the experimental validation stage of the
+// pipeline: the FRET / SDS-PAGE activity assays used for Mpro
+// candidates (read at 100 uM) and the pseudo-typed virus / biolayer
+// interferometry assays used for spike candidates (read at 10 uM).
+//
+// Observed inhibition is a saturating dose-response of the planted
+// true affinity, multiplied by a per-compound efficacy factor (many
+// computational binders fail in cells for reasons no docking score
+// sees: solubility, aggregation, membrane permeability) plus assay
+// noise. This reproduces the paper's retrospective picture: most
+// tested compounds show <= 1% inhibition, correlations against any
+// scoring method are low but positive for some targets, and the
+// higher Mpro concentration lets weaker binders show activity.
+package assay
+
+import (
+	"hash/fnv"
+	"math"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/target"
+)
+
+// Kind is the experimental technique.
+type Kind string
+
+// Assay kinds from the paper.
+const (
+	FRET        Kind = "FRET"
+	SDSPage     Kind = "SDS-PAGE"
+	PseudoVirus Kind = "pseudo-typed virus"
+	BLI         Kind = "biolayer interferometry"
+)
+
+// Assay is one experimental screen against a target.
+type Assay struct {
+	Kind             Kind
+	Target           *target.Pocket
+	ConcentrationUM  float64 // compound concentration in micro-molar
+	EfficacyFailRate float64 // fraction of compounds inert in cells
+	NoisePct         float64 // additive readout noise (percent)
+
+	// kindQualified keys the noise/efficacy hash streams by assay Kind
+	// as well as target. Primary assays keep the historical
+	// target-only namespace (so recorded experiment outputs stay
+	// byte-reproducible); secondary confirmation assays set this so
+	// they read the binding truth through an independent error stream.
+	kindQualified bool
+}
+
+// tag returns the hash namespace for one of this assay's stochastic
+// streams.
+func (a *Assay) tag(stream string) string {
+	if a.kindQualified {
+		return a.Target.Name + "/" + string(a.Kind) + "/" + stream
+	}
+	return a.Target.Name + "/" + stream
+}
+
+// ForTarget returns the paper's assay for the given screening target:
+// FRET at 100 uM for the protease sites, pseudo-typed virus at 10 uM
+// for the spike sites.
+func ForTarget(t *target.Pocket) *Assay {
+	switch t {
+	case target.Protease1, target.Protease2:
+		return &Assay{Kind: FRET, Target: t, ConcentrationUM: 100, EfficacyFailRate: 0.55, NoisePct: 3}
+	case target.Spike1, target.Spike2:
+		return &Assay{Kind: PseudoVirus, Target: t, ConcentrationUM: 10, EfficacyFailRate: 0.55, NoisePct: 3}
+	default:
+		return &Assay{Kind: FRET, Target: t, ConcentrationUM: 100, EfficacyFailRate: 0.55, NoisePct: 3}
+	}
+}
+
+// Inhibition returns the observed percent inhibition (0-100) of the
+// compound at the assay concentration. The result is deterministic
+// per (assay target, compound).
+func (a *Assay) Inhibition(mol *chem.Mol) float64 {
+	posed := mol.Clone()
+	a.Target.PlaceLigand(posed)
+	pk := a.Target.TrueAffinity(posed)
+	kdMolar := math.Pow(10, -pk)
+	concMolar := a.ConcentrationUM * 1e-6
+	bound := concMolar / (concMolar + kdMolar) // receptor occupancy
+
+	key := molID(mol)
+	// Cell/biochemical efficacy: a hash coin decides whether this
+	// compound's binding translates into measurable inhibition at all,
+	// and a second hash scales partial efficacy.
+	if hashUniform(a.tag("fail"), key) < a.EfficacyFailRate {
+		bound *= 0.005
+	} else {
+		bound *= 0.4 + 0.6*hashUniform(a.tag("eff"), key)
+	}
+	inh := 100 * bound
+	inh += a.NoisePct * hashNormal(a.tag("noise"), key)
+	if inh < 0 {
+		return 0
+	}
+	if inh > 100 {
+		return 100
+	}
+	return inh
+}
+
+func molID(m *chem.Mol) string {
+	if m.Name != "" {
+		return m.Name
+	}
+	if m.SMILES != "" {
+		return m.SMILES
+	}
+	return chem.WriteSMILES(m)
+}
+
+func hashBits(tag, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tag))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func hashUniform(tag, key string) float64 {
+	seed := hashBits(tag, key)
+	seed = seed*6364136223846793005 + 1442695040888963407
+	return float64(seed>>11) / float64(1<<53)
+}
+
+func hashNormal(tag, key string) float64 {
+	seed := hashBits(tag, key)
+	s := 0.0
+	for i := 0; i < 12; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		s += float64(seed>>11) / float64(1<<53)
+	}
+	return s - 6
+}

@@ -1,0 +1,137 @@
+package assay
+
+import (
+	"testing"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/target"
+)
+
+func prepMol(t *testing.T, s string, seed int64) *chem.Mol {
+	t.Helper()
+	m, err := chem.ParseSMILES(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = s
+	out, err := chem.Prepare(m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Name = s
+	return out
+}
+
+func TestAssayKindsAndConcentrations(t *testing.T) {
+	// Paper: Mpro assays read at 100 uM, spike at 10 uM.
+	for _, tgt := range []*target.Pocket{target.Protease1, target.Protease2} {
+		a := ForTarget(tgt)
+		if a.ConcentrationUM != 100 {
+			t.Fatalf("%s assay at %v uM, want 100", tgt.Name, a.ConcentrationUM)
+		}
+		if a.Kind != FRET {
+			t.Fatalf("%s assay kind %s", tgt.Name, a.Kind)
+		}
+	}
+	for _, tgt := range []*target.Pocket{target.Spike1, target.Spike2} {
+		a := ForTarget(tgt)
+		if a.ConcentrationUM != 10 {
+			t.Fatalf("%s assay at %v uM, want 10", tgt.Name, a.ConcentrationUM)
+		}
+		if a.Kind != PseudoVirus {
+			t.Fatalf("%s assay kind %s", tgt.Name, a.Kind)
+		}
+	}
+}
+
+func TestInhibitionBounds(t *testing.T) {
+	a := ForTarget(target.Protease1)
+	for i := 0; i < 40; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		inh := a.Inhibition(m)
+		if inh < 0 || inh > 100 {
+			t.Fatalf("inhibition %v outside [0,100]", inh)
+		}
+	}
+}
+
+func TestInhibitionDeterministic(t *testing.T) {
+	a := ForTarget(target.Spike1)
+	m := prepMol(t, "c1ccccc1CCN", 3)
+	if a.Inhibition(m) != a.Inhibition(m) {
+		t.Fatal("assay not deterministic")
+	}
+}
+
+func TestMostCompoundsInactive(t *testing.T) {
+	// The paper's experimental screens were dominated by non-binders.
+	a := ForTarget(target.Protease1)
+	inactive := 0
+	total := 0
+	for i := 0; i < 120; i++ {
+		m, err := libgen.EMolecules.Mol(i)
+		if err != nil {
+			continue
+		}
+		total++
+		if a.Inhibition(m) <= 1 {
+			inactive++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no compounds prepared")
+	}
+	if frac := float64(inactive) / float64(total); frac < 0.3 {
+		t.Fatalf("only %v of compounds inactive; screens should be mostly negative", frac)
+	}
+}
+
+func TestSomeCompoundsActive(t *testing.T) {
+	a := ForTarget(target.Protease1)
+	active := 0
+	for i := 0; i < 200; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		if a.Inhibition(m) > 33 {
+			active++
+		}
+	}
+	if active == 0 {
+		t.Fatal("no compound exceeds 33% inhibition in 200; hit analysis impossible")
+	}
+}
+
+func TestConcentrationMatters(t *testing.T) {
+	// The same affinity produces higher occupancy at 100 uM than at
+	// 10 uM, so the Mpro assay is more permissive (paper Section 5.3).
+	m := prepMol(t, "NCCc1ccc(O)cc1", 5)
+	high := &Assay{Kind: FRET, Target: target.Protease1, ConcentrationUM: 100, EfficacyFailRate: 0, NoisePct: 0}
+	low := &Assay{Kind: FRET, Target: target.Protease1, ConcentrationUM: 10, EfficacyFailRate: 0, NoisePct: 0}
+	if high.Inhibition(m) <= low.Inhibition(m) {
+		t.Fatalf("100 uM (%v%%) should exceed 10 uM (%v%%)", high.Inhibition(m), low.Inhibition(m))
+	}
+}
+
+func TestStrongBinderShowsInhibitionWithoutNoise(t *testing.T) {
+	clean := &Assay{Kind: FRET, Target: target.Protease1, ConcentrationUM: 100, EfficacyFailRate: 0, NoisePct: 0}
+	found := false
+	for i := 0; i < 60; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		if clean.Inhibition(m) > 50 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no strong binder reaches 50% in a clean assay")
+	}
+}

@@ -1,0 +1,194 @@
+package assay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/target"
+)
+
+func deck(t *testing.T, n int) []*chem.Mol {
+	t.Helper()
+	mols := libgen.Draw(libgen.All(), n)
+	if len(mols) < n {
+		t.Fatalf("drew only %d of %d compounds", len(mols), n)
+	}
+	return mols
+}
+
+func TestSecondaryAssayKinds(t *testing.T) {
+	for _, tc := range []struct {
+		target *target.Pocket
+		want   Kind
+		conc   float64
+	}{
+		{target.Protease1, SDSPage, 100},
+		{target.Protease2, SDSPage, 100},
+		{target.Spike1, BLI, 10},
+		{target.Spike2, BLI, 10},
+	} {
+		a := Secondary(tc.target)
+		if a.Kind != tc.want || a.ConcentrationUM != tc.conc {
+			t.Errorf("%s secondary = %s at %v uM, want %s at %v uM",
+				tc.target.Name, a.Kind, a.ConcentrationUM, tc.want, tc.conc)
+		}
+	}
+}
+
+func TestSecondaryReadsIndependentNoiseStream(t *testing.T) {
+	// Primary and secondary must disagree on at least some compounds:
+	// that is the entire point of an orthogonal confirmation assay.
+	mols := deck(t, 40)
+	p := ForTarget(target.Protease1)
+	s := Secondary(target.Protease1)
+	differ := 0
+	for _, m := range mols {
+		if p.Inhibition(m) != s.Inhibition(m) {
+			differ++
+		}
+	}
+	if differ < len(mols)/2 {
+		t.Fatalf("only %d/%d compounds read differently in the secondary assay", differ, len(mols))
+	}
+}
+
+func TestSecondaryCorrelatesWithPrimary(t *testing.T) {
+	// Both assays read the same underlying binding truth, so strong
+	// primary actives should confirm far above the base rate.
+	mols := deck(t, 120)
+	p := ForTarget(target.Spike1)
+	s := Secondary(target.Spike1)
+	var strongConfirmed, strongTotal, weakActive, weakTotal int
+	for _, m := range mols {
+		if p.Inhibition(m) >= 50 {
+			strongTotal++
+			if s.Inhibition(m) >= 33 {
+				strongConfirmed++
+			}
+		} else if p.Inhibition(m) <= 1 {
+			weakTotal++
+			if s.Inhibition(m) >= 33 {
+				weakActive++
+			}
+		}
+	}
+	if strongTotal == 0 || weakTotal == 0 {
+		t.Skip("deck produced no strong or no weak compounds")
+	}
+	strongRate := float64(strongConfirmed) / float64(strongTotal)
+	weakRate := float64(weakActive) / float64(weakTotal)
+	if strongRate <= weakRate {
+		t.Fatalf("confirmation rate for strong binders (%.2f) should exceed false-positive rate for non-binders (%.2f)",
+			strongRate, weakRate)
+	}
+}
+
+func TestScreenTwoStageProtocol(t *testing.T) {
+	mols := deck(t, 80)
+	c := Screen(target.Protease1, mols, 33)
+	// Confirmed is a subset of primary hits, indices valid and sorted.
+	hits := map[int]bool{}
+	prev := -1
+	for _, i := range c.PrimaryHits {
+		if i <= prev || i < 0 || i >= len(mols) {
+			t.Fatalf("primary hit indices invalid: %v", c.PrimaryHits)
+		}
+		prev = i
+		hits[i] = true
+	}
+	for _, i := range c.Confirmed {
+		if !hits[i] {
+			t.Fatalf("confirmed compound %d was not a primary hit", i)
+		}
+	}
+	if r := c.ConfirmationRate(); r < 0 || r > 1 {
+		t.Fatalf("confirmation rate %v out of range", r)
+	}
+}
+
+func TestScreenEmptyAndNoHits(t *testing.T) {
+	if c := Screen(target.Spike2, nil, 33); len(c.PrimaryHits) != 0 || c.ConfirmationRate() != 0 {
+		t.Fatalf("empty deck should produce no hits: %+v", c)
+	}
+	// An impossible threshold yields no primary hits.
+	mols := deck(t, 10)
+	if c := Screen(target.Spike2, mols, 101); len(c.PrimaryHits) != 0 {
+		t.Fatalf("threshold above 100%% should yield no hits, got %v", c.PrimaryHits)
+	}
+}
+
+func TestScreenDeterministicProperty(t *testing.T) {
+	mols := deck(t, 30)
+	check := func(thPick uint) bool {
+		th := float64(thPick % 80)
+		a := Screen(target.Protease2, mols, th)
+		b := Screen(target.Protease2, mols, th)
+		if len(a.PrimaryHits) != len(b.PrimaryHits) || len(a.Confirmed) != len(b.Confirmed) {
+			return false
+		}
+		for i := range a.PrimaryHits {
+			if a.PrimaryHits[i] != b.PrimaryHits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScreenMonotoneInThresholdProperty(t *testing.T) {
+	// Raising the threshold can only shrink the primary-hit set.
+	mols := deck(t, 60)
+	check := func(aPick, bPick uint) bool {
+		lo, hi := float64(aPick%60), float64(bPick%60)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cLo := Screen(target.Spike1, mols, lo)
+		cHi := Screen(target.Spike1, mols, hi)
+		return len(cHi.PrimaryHits) <= len(cLo.PrimaryHits)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForTargetAndSecondaryDefaults(t *testing.T) {
+	// Unknown (synthetic) pockets fall back to the protease protocol in
+	// both the primary and confirmation assays.
+	other := target.Synthetic("elsewhere", 99)
+	if a := ForTarget(other); a.Kind != FRET || a.ConcentrationUM != 100 {
+		t.Fatalf("default primary = %s at %v uM, want FRET at 100 uM", a.Kind, a.ConcentrationUM)
+	}
+	if a := Secondary(other); a.Kind != SDSPage || a.ConcentrationUM != 100 {
+		t.Fatalf("default secondary = %s at %v uM, want SDS-PAGE at 100 uM", a.Kind, a.ConcentrationUM)
+	}
+}
+
+func TestMolIDFallbacks(t *testing.T) {
+	// Named molecules key by name; unnamed by source SMILES; otherwise
+	// by the canonical writer, so every molecule gets a stable stream.
+	named := &chem.Mol{Name: "x", SMILES: "CC"}
+	if molID(named) != "x" {
+		t.Fatalf("named molID = %q", molID(named))
+	}
+	bySmiles := &chem.Mol{SMILES: "CC"}
+	if molID(bySmiles) != "CC" {
+		t.Fatalf("SMILES molID = %q", molID(bySmiles))
+	}
+	raw, err := chem.ParseSMILES("CCO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Name, raw.SMILES = "", ""
+	if molID(raw) == "" {
+		t.Fatal("writer-fallback molID must be non-empty")
+	}
+	if molID(raw) != molID(raw) {
+		t.Fatal("writer-fallback molID must be stable")
+	}
+}

@@ -1,0 +1,95 @@
+package chem
+
+// Partial-charge assignment in the style of Gasteiger-Marsili PEOE
+// (partial equalization of orbital electronegativity) — the role the
+// AM1-BCC charges from antechamber play in the paper's ligand
+// preparation (Section 4). Charges flow along bonds from
+// electropositive to electronegative atoms, with each iteration's
+// transfer damped by a factor of two, so the process converges
+// geometrically while conserving total charge exactly.
+
+// peoeParams are the electronegativity polynomial coefficients
+// chi(q) = a + b*q + c*q^2 per element (values in the spirit of the
+// original Gasteiger-Marsili 1980 parameter set; unparameterized
+// elements fall back to carbon).
+type peoeParams struct{ a, b, c float64 }
+
+var peoeTable = map[string]peoeParams{
+	"H":  {7.17, 6.24, -0.56},
+	"C":  {7.98, 9.18, 1.88},
+	"N":  {11.54, 10.82, 1.36},
+	"O":  {14.18, 12.92, 1.39},
+	"F":  {14.66, 13.85, 2.31},
+	"Cl": {11.00, 9.69, 1.35},
+	"Br": {10.08, 8.47, 1.16},
+	"I":  {9.90, 7.96, 0.96},
+	"S":  {10.14, 9.13, 1.38},
+	"P":  {8.90, 8.24, 0.96},
+	"B":  {7.50, 8.00, 1.50},
+}
+
+// chi evaluates the electronegativity of an atom carrying charge q.
+func (p peoeParams) chi(q float64) float64 {
+	return p.a + p.b*q + p.c*q*q
+}
+
+// chiPlus is the electronegativity of the element's cation, the
+// normalization constant for charge flowing *into* the atom's bond
+// partner (chi at q=+1).
+func (p peoeParams) chiPlus() float64 {
+	return p.a + p.b + p.c
+}
+
+// GasteigerCharges computes PEOE partial charges for every atom. The
+// iteration starts from the formal charges, transfers charge across
+// each bond proportionally to the electronegativity difference, and
+// damps the transfer by 0.5^k at iteration k. Six iterations (the
+// customary default; pass iters <= 0 to get it) reduce the residual
+// below 2% of the initial transfer. The returned slice sums to the
+// molecule's net formal charge to within round-off.
+func GasteigerCharges(m *Mol, iters int) []float64 {
+	if iters <= 0 {
+		iters = 6
+	}
+	n := len(m.Atoms)
+	q := make([]float64, n)
+	for i, a := range m.Atoms {
+		q[i] = float64(a.Charge)
+	}
+	if n == 0 || len(m.Bonds) == 0 {
+		return q
+	}
+	params := make([]peoeParams, n)
+	for i, a := range m.Atoms {
+		p, ok := peoeTable[a.Symbol]
+		if !ok {
+			p = peoeTable["C"]
+		}
+		params[i] = p
+	}
+	damp := 1.0
+	for it := 0; it < iters; it++ {
+		damp *= 0.5
+		transfer := make([]float64, n)
+		for _, b := range m.Bonds {
+			pa, pb := params[b.A], params[b.B]
+			chiA, chiB := pa.chi(q[b.A]), pb.chi(q[b.B])
+			// Charge flows from the less to the more electronegative
+			// atom, normalized by the donor's cation electronegativity.
+			var dq float64
+			if chiA < chiB {
+				dq = (chiB - chiA) / pa.chiPlus() * damp
+				transfer[b.A] += dq
+				transfer[b.B] -= dq
+			} else {
+				dq = (chiA - chiB) / pb.chiPlus() * damp
+				transfer[b.B] += dq
+				transfer[b.A] -= dq
+			}
+		}
+		for i := range q {
+			q[i] += transfer[i]
+		}
+	}
+	return q
+}

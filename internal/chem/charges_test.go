@@ -1,0 +1,174 @@
+package chem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func chargesFor(t *testing.T, smiles string) (*Mol, []float64) {
+	t.Helper()
+	m, err := ParseSMILES(smiles)
+	if err != nil {
+		t.Fatalf("ParseSMILES(%q): %v", smiles, err)
+	}
+	return m, GasteigerCharges(m, 0)
+}
+
+func TestGasteigerConservesChargeProperty(t *testing.T) {
+	// Total partial charge equals the net formal charge, for every
+	// corpus molecule and iteration budget: PEOE only moves charge
+	// along bonds, it never creates or destroys it.
+	check := func(pick, itPick uint) bool {
+		s := roundTripCorpus[int(pick%uint(len(roundTripCorpus)))]
+		m, err := ParseSMILES(s)
+		if err != nil {
+			return false
+		}
+		q := GasteigerCharges(m, 1+int(itPick%12))
+		var sum float64
+		for _, qi := range q {
+			sum += qi
+		}
+		return math.Abs(sum-float64(m.NetCharge())) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGasteigerSignPatterns(t *testing.T) {
+	// Electronegative atoms pull negative charge from carbon.
+	m, q := chargesFor(t, "CO") // methanol heavy atoms: C, O
+	if q[1] >= 0 {
+		t.Errorf("methanol oxygen charge = %.3f, want negative", q[1])
+	}
+	if q[0] <= 0 {
+		t.Errorf("methanol carbon charge = %.3f, want positive", q[0])
+	}
+	if math.Abs(q[0]+q[1]) > 1e-9 {
+		t.Errorf("methanol charges do not cancel: %v", q)
+	}
+	_ = m
+
+	// Carbonyl: O more negative than the ether O in an ester.
+	m2, q2 := chargesFor(t, "COC(C)=O") // C O C C O(carbonyl)
+	carbonyl := q2[len(m2.Atoms)-1]
+	ether := q2[1]
+	if carbonyl >= 0 || ether >= 0 {
+		t.Errorf("ester oxygens should both be negative: ether %.3f carbonyl %.3f", ether, carbonyl)
+	}
+
+	// Fluorine out-pulls chlorine on the same scaffold.
+	_, qf := chargesFor(t, "CF")
+	_, qcl := chargesFor(t, "CCl")
+	if qf[1] >= qcl[1] {
+		t.Errorf("F (%.3f) should be more negative than Cl (%.3f)", qf[1], qcl[1])
+	}
+}
+
+func TestGasteigerFormalChargeSeedsIteration(t *testing.T) {
+	// A protonated amine keeps roughly its +1 on the nitrogen
+	// neighborhood; a neutral amine does not.
+	_, qPlus := chargesFor(t, "C[NH3+]")
+	_, qNeutral := chargesFor(t, "CN")
+	var sumPlus, sumNeutral float64
+	for _, v := range qPlus {
+		sumPlus += v
+	}
+	for _, v := range qNeutral {
+		sumNeutral += v
+	}
+	if math.Abs(sumPlus-1) > 1e-9 || math.Abs(sumNeutral) > 1e-9 {
+		t.Fatalf("net charges wrong: cation %.3f (want 1), neutral %.3f (want 0)", sumPlus, sumNeutral)
+	}
+	if qPlus[1] <= qNeutral[1] {
+		t.Errorf("protonated N (%.3f) should carry more positive charge than neutral N (%.3f)",
+			qPlus[1], qNeutral[1])
+	}
+}
+
+func TestGasteigerConvergesGeometrically(t *testing.T) {
+	// Successive iteration budgets change the result less and less:
+	// |q(k+1) - q(k)| must shrink by about the damping factor.
+	m, err := ParseSMILES("CC(=O)Nc1ccc(O)cc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	for k := 2; k <= 8; k++ {
+		a := GasteigerCharges(m, k-1)
+		b := GasteigerCharges(m, k)
+		var diff float64
+		for i := range a {
+			diff += math.Abs(b[i] - a[i])
+		}
+		if diff > prev+1e-12 {
+			t.Fatalf("iteration-%d delta %.6f exceeds iteration-%d delta %.6f: not converging", k, diff, k-1, prev)
+		}
+		prev = diff
+	}
+	if prev > 0.01 {
+		t.Fatalf("delta after 8 iterations still %.4f", prev)
+	}
+}
+
+func TestGasteigerDeterministicAndSymmetric(t *testing.T) {
+	// Deterministic; and symmetric atoms (ethane carbons) get equal
+	// charges.
+	m, err := ParseSMILES("CC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := GasteigerCharges(m, 0)
+	b := GasteigerCharges(m, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GasteigerCharges must be deterministic")
+		}
+	}
+	if math.Abs(a[0]-a[1]) > 1e-12 {
+		t.Fatalf("symmetric carbons should carry equal charge: %v", a)
+	}
+}
+
+func TestGasteigerEdgeCases(t *testing.T) {
+	if got := GasteigerCharges(&Mol{}, 0); len(got) != 0 {
+		t.Fatalf("empty molecule should give no charges, got %v", got)
+	}
+	// Single disconnected ion: charge stays put.
+	m := &Mol{Atoms: []Atom{{Symbol: "Na", Charge: 1}}}
+	q := GasteigerCharges(m, 0)
+	if len(q) != 1 || q[0] != 1 {
+		t.Fatalf("lone cation charge = %v, want [1]", q)
+	}
+	// Unparameterized element (metal) falls back to carbon parameters
+	// without panicking.
+	m2 := &Mol{
+		Atoms: []Atom{{Symbol: "Zn"}, {Symbol: "O"}},
+		Bonds: []Bond{{A: 0, B: 1, Order: 1}},
+	}
+	q2 := GasteigerCharges(m2, 0)
+	if math.Abs(q2[0]+q2[1]) > 1e-9 {
+		t.Fatalf("fallback-element charges must still conserve: %v", q2)
+	}
+}
+
+func TestGasteigerBoundedCharges(t *testing.T) {
+	// No atom accumulates more than one electron of partial charge on
+	// neutral random organic molecules.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomGeometryMol(rng)
+		for _, qi := range GasteigerCharges(m, 0) {
+			if math.Abs(qi) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

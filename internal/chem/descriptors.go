@@ -1,0 +1,128 @@
+package chem
+
+// Descriptors are the MOE-style per-compound properties exported with
+// each prepared ligand and used by the compound-selection cost
+// function.
+type Descriptors struct {
+	MolWeight      float64
+	LogP           float64 // atom-contribution octanol/water estimate
+	HBondDonors    int
+	HBondAcceptors int
+	TPSA           float64 // topological polar surface area estimate
+	RotatableBonds int
+	Rings          int
+	HeavyAtoms     int
+	NetCharge      int
+}
+
+// ComputeDescriptors derives the descriptor block for m.
+func ComputeDescriptors(m *Mol) Descriptors {
+	d := Descriptors{
+		MolWeight:      m.Weight(),
+		RotatableBonds: m.RotatableBonds(),
+		Rings:          m.NumRings(),
+		HeavyAtoms:     len(m.Atoms),
+		NetCharge:      m.NetCharge(),
+	}
+	for _, a := range m.Atoms {
+		switch a.Symbol {
+		case "N":
+			d.HBondAcceptors++
+			if a.NumH > 0 {
+				d.HBondDonors++
+			}
+			d.TPSA += nContribTPSA(a)
+		case "O":
+			d.HBondAcceptors++
+			if a.NumH > 0 {
+				d.HBondDonors++
+			}
+			d.TPSA += oContribTPSA(a)
+		case "S":
+			d.TPSA += 25.3
+		}
+		d.LogP += logPContribution(a)
+	}
+	return d
+}
+
+// logPContribution is a coarse Crippen-style atomic contribution.
+func logPContribution(a Atom) float64 {
+	switch a.Symbol {
+	case "C":
+		if a.Aromatic {
+			return 0.29
+		}
+		return 0.14
+	case "N":
+		if a.Charge > 0 {
+			return -1.0
+		}
+		return -0.6
+	case "O":
+		if a.Charge < 0 {
+			return -1.2
+		}
+		return -0.4
+	case "S":
+		return 0.25
+	case "F":
+		return 0.22
+	case "Cl":
+		return 0.65
+	case "Br":
+		return 0.86
+	case "I":
+		return 1.1
+	case "P":
+		return -0.5
+	default:
+		return 0
+	}
+}
+
+func nContribTPSA(a Atom) float64 {
+	switch {
+	case a.Charge > 0:
+		return 27.6
+	case a.Aromatic:
+		return 12.9
+	case a.NumH >= 2:
+		return 26.0
+	case a.NumH == 1:
+		return 12.0
+	default:
+		return 3.2
+	}
+}
+
+func oContribTPSA(a Atom) float64 {
+	switch {
+	case a.Charge < 0:
+		return 23.1
+	case a.NumH >= 1:
+		return 20.2
+	default:
+		return 17.1
+	}
+}
+
+// Lipinski reports whether the molecule passes Lipinski's rule of five
+// (at most one violation allowed), the drug-likeness pre-filter the
+// Enamine library advertises.
+func Lipinski(d Descriptors) bool {
+	violations := 0
+	if d.MolWeight > 500 {
+		violations++
+	}
+	if d.LogP > 5 {
+		violations++
+	}
+	if d.HBondDonors > 5 {
+		violations++
+	}
+	if d.HBondAcceptors > 10 {
+		violations++
+	}
+	return violations <= 1
+}

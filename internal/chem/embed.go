@@ -1,0 +1,141 @@
+package chem
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Geometry constants for the distance-geometry embedding.
+const (
+	idealBondLength = 1.5 // Angstroms, generic heavy-atom bond
+	minNonBonded    = 2.8 // lower bound for non-bonded pairs
+	embedSteps      = 300
+	embedStepSize   = 0.02
+)
+
+// Embed3D generates 3D coordinates for the molecule in place and
+// relaxes them with a simple distance-geometry force field: bonded
+// pairs are pulled toward the ideal bond length, 1-3 pairs toward the
+// tetrahedral distance, and all other pairs are pushed apart. This
+// plays the role of MOE's "generate and energetically minimize 3D
+// structures" step. The result is deterministic for a given seed.
+func Embed3D(m *Mol, seed int64) {
+	n := len(m.Atoms)
+	if n == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := m.Adjacency()
+
+	// Initial placement: BFS from atom 0, each new atom at a random unit
+	// direction from its parent, which avoids pathological overlaps.
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if placed[s] {
+			continue
+		}
+		m.Atoms[s].Pos = Vec3{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4}
+		placed[s] = true
+		queue := []int{s}
+		order = append(order, s)
+		for len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[a] {
+				if placed[e.Nbr] {
+					continue
+				}
+				dir := randomUnit(rng)
+				m.Atoms[e.Nbr].Pos = m.Atoms[a].Pos.Add(dir.Scale(idealBondLength))
+				placed[e.Nbr] = true
+				queue = append(queue, e.Nbr)
+				order = append(order, e.Nbr)
+			}
+		}
+	}
+
+	// Precompute bonded and 1-3 pair sets.
+	bonded := map[[2]int]bool{}
+	for _, b := range m.Bonds {
+		bonded[pairKey(b.A, b.B)] = true
+	}
+	oneThree := map[[2]int]bool{}
+	for a := 0; a < n; a++ {
+		for i := 0; i < len(adj[a]); i++ {
+			for j := i + 1; j < len(adj[a]); j++ {
+				oneThree[pairKey(adj[a][i].Nbr, adj[a][j].Nbr)] = true
+			}
+		}
+	}
+	angleDist := idealBondLength * math.Sqrt(8.0/3.0) // tetrahedral 1-3 distance
+
+	grad := make([]Vec3, n)
+	for step := 0; step < embedSteps; step++ {
+		for i := range grad {
+			grad[i] = Vec3{}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := m.Atoms[j].Pos.Sub(m.Atoms[i].Pos)
+				r := d.Norm()
+				if r < 1e-9 {
+					d = randomUnit(rng)
+					r = 1e-3
+				}
+				var f float64 // positive pulls together, negative pushes apart
+				key := pairKey(i, j)
+				switch {
+				case bonded[key]:
+					f = 2 * (r - idealBondLength)
+				case oneThree[key]:
+					f = 1 * (r - angleDist)
+				case r < minNonBonded:
+					f = 4 * (r - minNonBonded)
+				default:
+					continue
+				}
+				u := d.Scale(f / r)
+				grad[i] = grad[i].Add(u)
+				grad[j] = grad[j].Sub(u)
+			}
+		}
+		for i := 0; i < n; i++ {
+			m.Atoms[i].Pos = m.Atoms[i].Pos.Add(grad[i].Scale(embedStepSize))
+		}
+	}
+
+	// Center on the centroid so downstream placement is translation-free.
+	m.Translate(m.Centroid().Scale(-1))
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func randomUnit(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if n := v.Norm(); n > 1e-6 {
+			return v.Scale(1 / n)
+		}
+	}
+}
+
+// RadiusOfGyration returns the RMS distance of heavy atoms from the
+// centroid, a compactness measure used in tests and workload stats.
+func RadiusOfGyration(m *Mol) float64 {
+	c := m.Centroid()
+	if len(m.Atoms) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, a := range m.Atoms {
+		d := a.Pos.Dist(c)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(m.Atoms)))
+}

@@ -1,0 +1,115 @@
+package chem
+
+import "errors"
+
+// ErrRejected is returned by Prepare for ligands the MOE-style filter
+// removes entirely (metal complexes, empty molecules).
+var ErrRejected = errors.New("chem: ligand rejected by preparation filter")
+
+// StripSalts keeps only the largest fragment by heavy-atom count,
+// breaking ties by molecular weight — the desalting step of ligand
+// preparation. The input is not modified.
+func StripSalts(m *Mol) *Mol {
+	frags := m.Fragments()
+	if len(frags) == 1 {
+		return frags[0]
+	}
+	best := frags[0]
+	for _, f := range frags[1:] {
+		if len(f.Atoms) > len(best.Atoms) ||
+			(len(f.Atoms) == len(best.Atoms) && f.Weight() > best.Weight()) {
+			best = f
+		}
+	}
+	best.SMILES = "" // no longer matches the source string
+	return best
+}
+
+// ProtonateAtPH7 sets the dominant protonation state at physiological
+// pH in place: carboxylic acids are deprotonated (COO-), aliphatic
+// primary/secondary/tertiary amines are protonated (N+), and existing
+// charges on other groups are preserved.
+func ProtonateAtPH7(m *Mol) {
+	adj := m.Adjacency()
+	for i := range m.Atoms {
+		a := &m.Atoms[i]
+		switch a.Symbol {
+		case "O":
+			if a.Charge != 0 || a.Aromatic {
+				continue
+			}
+			// Hydroxyl oxygen on a carboxyl carbon: deprotonate.
+			if a.NumH >= 1 && isCarboxylOxygen(m, adj, i) {
+				a.Charge = -1
+				a.NumH = 0
+			}
+		case "N":
+			if a.Charge != 0 || a.Aromatic {
+				continue
+			}
+			// sp3 amine nitrogen (all single bonds, not amide): protonate.
+			if isBasicAmine(m, adj, i) {
+				a.Charge = 1
+				a.NumH++
+			}
+		}
+	}
+}
+
+// isCarboxylOxygen reports whether atom oi is the -OH oxygen of a
+// carboxylic acid: bonded to a carbon that also carries a double-bonded
+// oxygen.
+func isCarboxylOxygen(m *Mol, adj [][]AdjEntry, oi int) bool {
+	for _, e := range adj[oi] {
+		c := e.Nbr
+		if m.Atoms[c].Symbol != "C" || m.Bonds[e.Bond].Order != 1 {
+			continue
+		}
+		for _, e2 := range adj[c] {
+			if e2.Nbr == oi {
+				continue
+			}
+			if m.Atoms[e2.Nbr].Symbol == "O" && m.Bonds[e2.Bond].Order == 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isBasicAmine reports whether atom ni is an aliphatic amine nitrogen:
+// only single bonds, no adjacent carbonyl carbon (amides are not
+// basic).
+func isBasicAmine(m *Mol, adj [][]AdjEntry, ni int) bool {
+	for _, e := range adj[ni] {
+		if m.Bonds[e.Bond].Order != 1 || m.Bonds[e.Bond].Aromatic {
+			return false
+		}
+		c := e.Nbr
+		if m.Atoms[c].Symbol == "C" {
+			for _, e2 := range adj[c] {
+				if m.Atoms[e2.Nbr].Symbol == "O" && m.Bonds[e2.Bond].Order == 2 {
+					return false // amide / carbamate
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Prepare runs the full MOE-style ligand preparation used ahead of
+// docking: strip salts, reject metal-containing ligands, set pH 7
+// protonation states, embed 3D coordinates and energy-minimize them.
+// The returned molecule is a new object; the input is unchanged.
+func Prepare(m *Mol, seed int64) (*Mol, error) {
+	if len(m.Atoms) == 0 {
+		return nil, ErrRejected
+	}
+	out := StripSalts(m.Clone())
+	if out.ContainsMetal() {
+		return nil, ErrRejected
+	}
+	ProtonateAtPH7(out)
+	Embed3D(out, seed)
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package cluster
+
+// GPU and host memory accounting for the Fusion scoring job, from the
+// paper's Section 4.2: the Coherent Fusion model occupies 1.5 GB of
+// each 16 GB V100; the remaining memory bounds the pose batch, and 56
+// poses per batch was the production maximum. Host memory (256 GB per
+// node) holds the data loaders' pre-featurized batches.
+
+// Memory model constants (GB unless noted).
+const (
+	ModelGPUMemGB   = 1.5  // Coherent Fusion resident size
+	poseGPUMemGB    = 0.25 // one voxel+graph pose on the GPU
+	gpuReserveGB    = 0.5  // allocator overhead / workspace
+	hostPerLoaderGB = 1.0  // staging buffers per data loader
+	hostSystemGB    = 16.0 // OS + runtime per node
+)
+
+// MaxBatchPerGPU returns the largest pose batch that fits alongside
+// the model on a GPU with the given memory. With the paper's 16 GB
+// V100 this is 56, the production batch size.
+func MaxBatchPerGPU(gpuMemGB float64) int {
+	free := gpuMemGB - ModelGPUMemGB - gpuReserveGB
+	if free <= 0 {
+		return 0
+	}
+	return int(free / poseGPUMemGB)
+}
+
+// FitsOnNode reports whether a job's per-node footprint — 4 model
+// replicas plus loaders' host staging — fits the node's memory.
+func FitsOnNode(m Machine, loadersPerRank int) bool {
+	ranksPerNode := float64(m.GPUsPerNode)
+	host := hostSystemGB + ranksPerNode*float64(loadersPerRank)*hostPerLoaderGB
+	return host <= float64(m.MemoryGBPerNode)
+}
+
+// MaxLoadersPerRank returns the largest loader count whose host
+// staging fits the node (the paper used 12 and noted more loaders
+// reduced stability).
+func MaxLoadersPerRank(m Machine) int {
+	free := float64(m.MemoryGBPerNode) - hostSystemGB
+	perRank := free / float64(m.GPUsPerNode)
+	n := int(perRank / hostPerLoaderGB)
+	if n < 0 {
+		return 0
+	}
+	return n
+}

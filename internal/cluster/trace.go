@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceEntry is one job's lifecycle in a campaign trace.
+type TraceEntry struct {
+	JobID  int
+	Start  time.Duration
+	End    time.Duration
+	Failed bool
+}
+
+// TracedCampaign runs SimulateCampaign while recording per-job start
+// and end times, for scheduling analysis and the Gantt rendering in
+// examples/scaling.
+func TracedCampaign(nJobs, allocNodes int, spec FusionJobSpec, seed int64) (CampaignResult, []TraceEntry, error) {
+	if spec.Nodes > allocNodes {
+		return CampaignResult{}, nil, fmt.Errorf("cluster: job needs %d nodes, allocation has %d", spec.Nodes, allocNodes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type running struct {
+		id     int
+		start  float64
+		end    float64
+		result JobResult
+	}
+	var res CampaignResult
+	var trace []TraceEntry
+	pending := nJobs
+	freeNodes := allocNodes
+	now := 0.0
+	nextID := 0
+	var active []running
+	dispatchReady := 0.0
+	for pending > 0 || len(active) > 0 {
+		for pending > 0 && freeNodes >= spec.Nodes && len(active) < schedulerJobCap {
+			if now < dispatchReady {
+				break
+			}
+			jr := SimulateFusionJob(spec, rng)
+			active = append(active, running{id: nextID, start: now, end: now + jr.Total().Seconds(), result: jr})
+			nextID++
+			freeNodes -= spec.Nodes
+			pending--
+			dispatchReady = now + dispatchInterval
+			if len(active) > res.PeakJobs {
+				res.PeakJobs = len(active)
+			}
+		}
+		if len(active) == 0 {
+			now = dispatchReady
+			continue
+		}
+		sort.Slice(active, func(a, b int) bool { return active[a].end < active[b].end })
+		nextEvent := active[0].end
+		if pending > 0 && freeNodes >= spec.Nodes && dispatchReady > now && dispatchReady < nextEvent {
+			now = dispatchReady
+			continue
+		}
+		now = nextEvent
+		done := active[0]
+		active = active[1:]
+		freeNodes += spec.Nodes
+		res.Jobs = append(res.Jobs, done.result)
+		trace = append(trace, TraceEntry{
+			JobID:  done.id,
+			Start:  time.Duration(done.start * float64(time.Second)),
+			End:    time.Duration(done.end * float64(time.Second)),
+			Failed: done.result.Failed,
+		})
+		if done.result.Failed {
+			pending++
+			res.Resubmissions++
+		} else {
+			res.PosesScored += spec.Poses
+		}
+	}
+	res.Makespan = time.Duration(now * float64(time.Second))
+	sort.Slice(trace, func(a, b int) bool { return trace[a].JobID < trace[b].JobID })
+	return res, trace, nil
+}
+
+// RenderGantt draws an ASCII Gantt chart of a campaign trace, one row
+// per job ('#' running, 'x' marks a failed job's bar), at the given
+// width in characters.
+func RenderGantt(trace []TraceEntry, width int) string {
+	if len(trace) == 0 || width < 10 {
+		return ""
+	}
+	var maxEnd time.Duration
+	for _, e := range trace {
+		if e.End > maxEnd {
+			maxEnd = e.End
+		}
+	}
+	if maxEnd == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	scale := float64(width) / maxEnd.Seconds()
+	for _, e := range trace {
+		startCol := int(e.Start.Seconds() * scale)
+		endCol := int(e.End.Seconds() * scale)
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		if endCol > width {
+			endCol = width
+		}
+		mark := byte('#')
+		if e.Failed {
+			mark = 'x'
+		}
+		fmt.Fprintf(&sb, "job %3d |%s%s%s| %5.1fh\n",
+			e.JobID,
+			strings.Repeat(" ", startCol),
+			strings.Repeat(string(mark), endCol-startCol),
+			strings.Repeat(" ", width-endCol),
+			(e.End - e.Start).Hours())
+	}
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package dock
+
+import (
+	"fmt"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/target"
+)
+
+// Pipeline is the ConveyorLC toolchain: four parallelized stages that
+// prepare the receptor (CDT1Receptor), prepare ligands (CDT2Ligand),
+// dock (CDT3Docking) and re-score a subset with MM/GBSA (CDT4mmgbsa).
+// The MM/GBSA stage is injected as a function so the physics rescorer
+// stays a separate substrate (mirroring the separate programs of the
+// real toolchain).
+type Pipeline struct {
+	Search  SearchOptions
+	Rescore func(p *target.Pocket, mol *chem.Mol) float64
+
+	// MaxRescorePoses caps how many best poses CDT4 re-scores per
+	// compound (ConveyorLC re-scores up to 10 best docking poses, and
+	// only on a subset of the screen because of MM/GBSA's cost).
+	MaxRescorePoses int
+}
+
+// NewPipeline builds a ConveyorLC pipeline with default search options.
+func NewPipeline(rescore func(p *target.Pocket, mol *chem.Mol) float64) *Pipeline {
+	return &Pipeline{Search: DefaultSearchOptions(), Rescore: rescore, MaxRescorePoses: 10}
+}
+
+// Receptor is the CDT1Receptor output: a prepared docking target.
+type Receptor struct {
+	Pocket   *target.Pocket
+	Prepared bool
+}
+
+// CDT1Receptor performs protein preparation. For the synthetic pockets
+// this validates the site definition and marks it docking-ready.
+func (pl *Pipeline) CDT1Receptor(p *target.Pocket) (*Receptor, error) {
+	if p == nil || len(p.Atoms) == 0 {
+		return nil, fmt.Errorf("dock: receptor %v has no site atoms", p)
+	}
+	return &Receptor{Pocket: p, Prepared: true}, nil
+}
+
+// CDT2Ligand performs ligand preparation (desalt, protonate at pH 7,
+// embed and minimize 3D coordinates).
+func (pl *Pipeline) CDT2Ligand(m *chem.Mol, seed int64) (*chem.Mol, error) {
+	return chem.Prepare(m, seed)
+}
+
+// CDT3Docking docks the prepared ligand into the prepared receptor.
+func (pl *Pipeline) CDT3Docking(r *Receptor, m *chem.Mol) ([]Pose, error) {
+	if r == nil || !r.Prepared {
+		return nil, fmt.Errorf("dock: CDT3Docking requires a prepared receptor")
+	}
+	poses := Dock(r.Pocket, m, pl.Search)
+	if len(poses) == 0 {
+		return nil, fmt.Errorf("dock: no poses found for %s", m.Name)
+	}
+	return poses, nil
+}
+
+// RescoredPose pairs a docking pose with its MM/GBSA re-score.
+type RescoredPose struct {
+	Pose
+	MMGBSA float64 // kcal/mol, more negative is better
+}
+
+// CDT4mmgbsa re-scores the best poses with the injected MM/GBSA
+// function.
+func (pl *Pipeline) CDT4mmgbsa(r *Receptor, poses []Pose) ([]RescoredPose, error) {
+	if pl.Rescore == nil {
+		return nil, fmt.Errorf("dock: pipeline has no MM/GBSA rescorer")
+	}
+	n := len(poses)
+	if pl.MaxRescorePoses > 0 && n > pl.MaxRescorePoses {
+		n = pl.MaxRescorePoses
+	}
+	out := make([]RescoredPose, 0, n)
+	for _, p := range poses[:n] {
+		out = append(out, RescoredPose{Pose: p, MMGBSA: pl.Rescore(r.Pocket, p.Mol)})
+	}
+	return out, nil
+}
+
+// Run executes all four stages for one compound, returning docked and
+// re-scored poses.
+func (pl *Pipeline) Run(p *target.Pocket, raw *chem.Mol, seed int64) ([]RescoredPose, error) {
+	r, err := pl.CDT1Receptor(p)
+	if err != nil {
+		return nil, err
+	}
+	lig, err := pl.CDT2Ligand(raw, seed)
+	if err != nil {
+		return nil, err
+	}
+	lig.Name = raw.Name
+	poses, err := pl.CDT3Docking(r, lig)
+	if err != nil {
+		return nil, err
+	}
+	return pl.CDT4mmgbsa(r, poses)
+}

@@ -1,0 +1,5 @@
+package dock
+
+import "math/rand"
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(99)) }

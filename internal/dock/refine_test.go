@@ -1,0 +1,71 @@
+package dock
+
+import (
+	"testing"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/target"
+)
+
+func TestRefinePoseImprovesScore(t *testing.T) {
+	m := mustMol(t, "c1ccccc1CCN", "ref1")
+	target.Protease1.PlaceLigand(m)
+	// Perturb away from the placed pose.
+	m.Translate(chem.Vec3{X: 2.5, Y: -1.5})
+	before := VinaScore(target.Protease1, m)
+	refined, after := RefinePose(target.Protease1, m, DefaultRefineOptions())
+	if after > before {
+		t.Fatalf("refinement worsened score: %v -> %v", before, after)
+	}
+	if refined == m {
+		t.Fatal("RefinePose must not return its input")
+	}
+	// Input must be untouched.
+	if VinaScore(target.Protease1, m) != before {
+		t.Fatal("RefinePose mutated its input")
+	}
+}
+
+func TestRefinePoseDeterministic(t *testing.T) {
+	m := mustMol(t, "CCOC(=O)c1ccccc1", "ref2")
+	target.Spike1.PlaceLigand(m)
+	_, a := RefinePose(target.Spike1, m, DefaultRefineOptions())
+	_, b := RefinePose(target.Spike1, m, DefaultRefineOptions())
+	if a != b {
+		t.Fatal("refinement not deterministic")
+	}
+}
+
+func TestRefinePosePreservesGeometry(t *testing.T) {
+	m := mustMol(t, "c1ccc2ccccc2c1", "ref3")
+	target.Spike1.PlaceLigand(m)
+	refined, _ := RefinePose(target.Spike1, m, DefaultRefineOptions())
+	for i := range m.Atoms {
+		for j := i + 1; j < len(m.Atoms); j++ {
+			a := m.Atoms[i].Pos.Dist(m.Atoms[j].Pos)
+			b := refined.Atoms[i].Pos.Dist(refined.Atoms[j].Pos)
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				t.Fatal("rigid refinement distorted internal geometry")
+			}
+		}
+	}
+}
+
+func TestRefinePosesSortsByScore(t *testing.T) {
+	m := mustMol(t, "CCc1ccccc1O", "ref4")
+	poses := Dock(target.Spike2, m, SearchOptions{NumPoses: 4, MCSteps: 15, Restarts: 4, Temperature: 1, Seed: 6})
+	refined := RefinePoses(target.Spike2, poses, DefaultRefineOptions())
+	if len(refined) != len(poses) {
+		t.Fatal("pose count changed")
+	}
+	for i := 1; i < len(refined); i++ {
+		if refined[i].Score < refined[i-1].Score {
+			t.Fatal("refined poses not sorted")
+		}
+	}
+	for i, p := range refined {
+		if p.Rank != i {
+			t.Fatal("ranks not reassigned")
+		}
+	}
+}

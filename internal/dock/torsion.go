@@ -1,0 +1,106 @@
+package dock
+
+// Torsional flexibility for the Monte-Carlo docking search. AutoDock
+// Vina samples ligand conformations by rotating about single acyclic
+// bonds in addition to rigid-body moves; this file adds the same move
+// class. Rigid docking (the default SearchOptions) is kept for the
+// calibrated pipeline experiments; flexible docking is opt-in via
+// SearchOptions.TorsionMoves and measured against rigid docking by
+// BenchmarkAblationFlexibleDocking.
+
+import (
+	"math"
+	"math/rand"
+
+	"deepfusion/internal/chem"
+)
+
+// Torsion is one rotatable bond with the atom set that moves when it
+// turns: the side of the bond containing atom B (the "distal" side),
+// by convention.
+type Torsion struct {
+	A, B   int   // bond atoms; the axis runs A -> B
+	Moving []int // atoms on B's side (excluding A's side entirely)
+}
+
+// Torsions enumerates the rotatable bonds of m using the same
+// definition as chem.(*Mol).RotatableBonds — acyclic single bonds
+// between non-terminal heavy atoms — and precomputes each bond's
+// moving atom set.
+func Torsions(m *chem.Mol) []Torsion {
+	adj := m.Adjacency()
+	inRing := m.RingBonds()
+	var out []Torsion
+	for bi, b := range m.Bonds {
+		if b.Order != 1 || b.Aromatic || inRing[bi] {
+			continue
+		}
+		if len(adj[b.A]) < 2 || len(adj[b.B]) < 2 {
+			continue
+		}
+		moving := distalAtoms(m, adj, b.A, b.B)
+		if len(moving) == 0 || len(moving) == len(m.Atoms) {
+			continue // not a separating bond (shouldn't happen acyclically)
+		}
+		out = append(out, Torsion{A: b.A, B: b.B, Moving: moving})
+	}
+	return out
+}
+
+// distalAtoms returns the atoms reachable from b without crossing the
+// a-b bond (including b itself).
+func distalAtoms(m *chem.Mol, adj [][]chem.AdjEntry, a, b int) []int {
+	seen := make([]bool, len(m.Atoms))
+	seen[a] = true // wall off the proximal side
+	stack := []int{b}
+	seen[b] = true
+	var out []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		for _, e := range adj[v] {
+			if !seen[e.Nbr] {
+				seen[e.Nbr] = true
+				stack = append(stack, e.Nbr)
+			}
+		}
+	}
+	// If the bond sits in a cycle the walk returns to a's side; detect
+	// by checking whether everything was reached.
+	if len(out) >= len(m.Atoms)-1 {
+		return nil
+	}
+	return out
+}
+
+// RotateTorsion turns the torsion's moving atoms by angle radians
+// about the A->B bond axis, in place. Bond lengths and the geometry of
+// each rigid fragment are preserved exactly.
+func RotateTorsion(m *chem.Mol, tor Torsion, angle float64) {
+	origin := m.Atoms[tor.A].Pos
+	axis := m.Atoms[tor.B].Pos.Sub(origin)
+	n := axis.Norm()
+	if n < 1e-9 {
+		return
+	}
+	axis = axis.Scale(1 / n)
+	sinA, cosA := math.Sin(angle), math.Cos(angle)
+	for _, i := range tor.Moving {
+		v := m.Atoms[i].Pos.Sub(origin)
+		term1 := v.Scale(cosA)
+		term2 := cross(axis, v).Scale(sinA)
+		term3 := axis.Scale(axis.Dot(v) * (1 - cosA))
+		m.Atoms[i].Pos = origin.Add(term1).Add(term2).Add(term3)
+	}
+}
+
+// torsionJitter applies one random torsional move of up to maxAngle
+// radians about a randomly chosen rotatable bond.
+func torsionJitter(m *chem.Mol, tors []Torsion, rng *rand.Rand, maxAngle float64) {
+	if len(tors) == 0 {
+		return
+	}
+	tor := tors[rng.Intn(len(tors))]
+	RotateTorsion(m, tor, (rng.Float64()*2-1)*maxAngle)
+}

@@ -1,0 +1,206 @@
+package dock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/target"
+)
+
+func embedded(t *testing.T, smiles string) *chem.Mol {
+	t.Helper()
+	m, err := chem.ParseSMILES(smiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chem.Embed3D(m, 17)
+	return m
+}
+
+func TestTorsionsMatchRotatableBondCount(t *testing.T) {
+	for _, tc := range []struct {
+		smiles string
+		want   int
+	}{
+		{"CCO", 0},             // terminal bonds only
+		{"CCCC", 1},            // one central rotor
+		{"CCCCC", 2},           // two rotors
+		{"c1ccccc1", 0},        // aromatic ring
+		{"c1ccccc1CCN", 2},     // exocyclic chain
+		{"CC(=O)Nc1ccccc1", 2}, // amide C-N and N-ring
+		{"C1CCCCC1", 0},        // aliphatic ring bonds excluded
+	} {
+		m := embedded(t, tc.smiles)
+		tors := Torsions(m)
+		if len(tors) != m.RotatableBonds() {
+			t.Errorf("%s: Torsions()=%d but RotatableBonds()=%d — definitions must agree",
+				tc.smiles, len(tors), m.RotatableBonds())
+		}
+		if len(tors) != tc.want {
+			t.Errorf("%s: %d torsions, want %d", tc.smiles, len(tors), tc.want)
+		}
+	}
+}
+
+func TestTorsionMovingSetsExcludeProximalSide(t *testing.T) {
+	m := embedded(t, "CCCC")
+	tors := Torsions(m)
+	if len(tors) != 1 {
+		t.Fatalf("butane should have 1 torsion, got %d", len(tors))
+	}
+	tor := tors[0]
+	moving := map[int]bool{}
+	for _, i := range tor.Moving {
+		moving[i] = true
+	}
+	if moving[tor.A] {
+		t.Fatal("axis atom A must not move")
+	}
+	if !moving[tor.B] {
+		t.Fatal("axis atom B anchors the distal side and should be in the moving set")
+	}
+	if len(tor.Moving) >= len(m.Atoms) {
+		t.Fatalf("moving set (%d) must be a strict subset of the molecule (%d)", len(tor.Moving), len(m.Atoms))
+	}
+}
+
+func TestRotateTorsionPreservesBondsAndFragments(t *testing.T) {
+	m := embedded(t, "CC(=O)Nc1ccc(O)cc1")
+	tors := Torsions(m)
+	if len(tors) == 0 {
+		t.Fatal("expected torsions")
+	}
+	check := func(seed int64, torPick uint, angle float64) bool {
+		if math.IsNaN(angle) || math.IsInf(angle, 0) {
+			return true
+		}
+		angle = math.Mod(angle, math.Pi)
+		tor := tors[int(torPick%uint(len(tors)))]
+		r := m.Clone()
+		RotateTorsion(r, tor, angle)
+		// Every bond length is exactly preserved.
+		for _, b := range m.Bonds {
+			d0 := m.Atoms[b.A].Pos.Dist(m.Atoms[b.B].Pos)
+			d1 := r.Atoms[b.A].Pos.Dist(r.Atoms[b.B].Pos)
+			if math.Abs(d0-d1) > 1e-9 {
+				return false
+			}
+		}
+		// Atoms outside the moving set do not move at all.
+		moving := map[int]bool{}
+		for _, i := range tor.Moving {
+			moving[i] = true
+		}
+		for i := range m.Atoms {
+			if !moving[i] && m.Atoms[i].Pos.Dist(r.Atoms[i].Pos) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateTorsionFullTurnIsIdentity(t *testing.T) {
+	m := embedded(t, "CCCCCC")
+	for _, tor := range Torsions(m) {
+		r := m.Clone()
+		RotateTorsion(r, tor, 2*math.Pi)
+		for i := range m.Atoms {
+			if m.Atoms[i].Pos.Dist(r.Atoms[i].Pos) > 1e-9 {
+				t.Fatalf("2*pi rotation about bond %d-%d moved atom %d", tor.A, tor.B, i)
+			}
+		}
+	}
+}
+
+func TestRotateTorsionChangesConformation(t *testing.T) {
+	m := embedded(t, "CCCC")
+	tor := Torsions(m)[0]
+	r := m.Clone()
+	RotateTorsion(r, tor, math.Pi/2)
+	// End-to-end distance must change: that is the point of a torsion.
+	d0 := m.Atoms[0].Pos.Dist(m.Atoms[3].Pos)
+	d1 := r.Atoms[0].Pos.Dist(r.Atoms[3].Pos)
+	if math.Abs(d0-d1) < 1e-6 {
+		t.Fatalf("90-degree torsion left the 1-4 distance unchanged (%.3f)", d0)
+	}
+}
+
+func TestFlexibleDockingFindsBetterOrEqualPoses(t *testing.T) {
+	// With the same total proposal budget, adding torsional moves must
+	// not hurt on average across flexible compounds (it samples a
+	// strict superset of the conformation space).
+	p := target.Protease1
+	smiles := []string{
+		"CCOC(=O)CCc1ccccc1",
+		"CCN(CC)CCNC(=O)c1ccccc1",
+		"CC(C)CC(N)C(=O)O",
+	}
+	var rigidSum, flexSum float64
+	for i, s := range smiles {
+		m := embedded(t, s)
+		o := DefaultSearchOptions()
+		o.MCSteps = 80
+		o.Seed = int64(100 + i)
+		rigid := Dock(p, m, o)
+		o.TorsionMoves = true
+		flex := Dock(p, m, o)
+		rigidSum += rigid[0].Score
+		flexSum += flex[0].Score
+	}
+	if flexSum > rigidSum+1.5 {
+		t.Fatalf("flexible docking much worse than rigid: %.2f vs %.2f total", flexSum, rigidSum)
+	}
+	t.Logf("total best scores: rigid %.2f, flexible %.2f", rigidSum, flexSum)
+}
+
+func TestFlexibleDockingDeterministic(t *testing.T) {
+	p := target.Spike1
+	m := embedded(t, "CCOC(=O)CCc1ccccc1")
+	o := DefaultSearchOptions()
+	o.TorsionMoves = true
+	a := Dock(p, m, o)
+	b := Dock(p, m, o)
+	if len(a) != len(b) {
+		t.Fatalf("pose counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score {
+			t.Fatalf("pose %d scores differ: %v vs %v", i, a[i].Score, b[i].Score)
+		}
+	}
+}
+
+func TestTorsionMovesPreserveBondLengthsThroughDocking(t *testing.T) {
+	p := target.Protease2
+	m := embedded(t, "CCN(CC)CCNC(=O)c1ccccc1")
+	o := DefaultSearchOptions()
+	o.TorsionMoves = true
+	for _, pose := range Dock(p, m, o) {
+		for _, b := range m.Bonds {
+			d0 := m.Atoms[b.A].Pos.Dist(m.Atoms[b.B].Pos)
+			d1 := pose.Mol.Atoms[b.A].Pos.Dist(pose.Mol.Atoms[b.B].Pos)
+			if math.Abs(d0-d1) > 1e-6 {
+				t.Fatalf("bond %d-%d length changed %.4f -> %.4f in docked pose", b.A, b.B, d0, d1)
+			}
+		}
+	}
+}
+
+func TestTorsionsRigidMoleculeEmpty(t *testing.T) {
+	m := embedded(t, "c1ccc2ccccc2c1") // naphthalene: fully rigid
+	if tors := Torsions(m); len(tors) != 0 {
+		t.Fatalf("rigid molecule reported %d torsions", len(tors))
+	}
+	// Docking with TorsionMoves on a rigid molecule must still work.
+	o := DefaultSearchOptions()
+	o.TorsionMoves = true
+	if poses := Dock(target.Spike2, m, o); len(poses) == 0 {
+		t.Fatal("no poses for rigid molecule with TorsionMoves enabled")
+	}
+}

@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"deepfusion/internal/assay"
+	"deepfusion/internal/chem"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/metrics"
+	"deepfusion/internal/mmgbsa"
+	"deepfusion/internal/screen"
+	"deepfusion/internal/target"
+)
+
+// TestedCompound is one experimentally prosecuted compound with its
+// computational predictions and assay readout.
+type TestedCompound struct {
+	ID         string
+	Fusion     float64 // max predicted pK over poses
+	Vina       float64 // min kcal/mol over poses
+	AMPL       float64 // AMPL MM/GBSA surrogate, kcal/mol
+	Inhibition float64 // percent at the assay concentration
+}
+
+// TargetOutcome is the retrospective dataset for one binding site.
+type TargetOutcome struct {
+	Target   *target.Pocket
+	Assay    *assay.Assay
+	Tested   []TestedCompound
+	Screened int
+}
+
+// Active returns the tested compounds with > 1% inhibition (the subset
+// used for Figure 5 and Table 8).
+func (t *TargetOutcome) Active() []TestedCompound {
+	var out []TestedCompound
+	for _, c := range t.Tested {
+		if c.Inhibition > 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CampaignResult is the full four-target screening + experimental
+// validation retrospective.
+type CampaignResult struct {
+	PerTarget []*TargetOutcome
+	NumTested int
+	NumHits   int // >= 33% inhibition
+	NumFull   int // >= 95% inhibition ("100%" class of the paper)
+}
+
+// HitRate is the fraction of tested compounds with >= 33% inhibition
+// (paper: 108/1042 = 10.4%).
+func (c *CampaignResult) HitRate() float64 {
+	if c.NumTested == 0 {
+		return 0
+	}
+	return float64(c.NumHits) / float64(c.NumTested)
+}
+
+var (
+	campaignMu    sync.Mutex
+	campaignCache = map[Scale]*CampaignResult{}
+)
+
+// campaignBudget returns (compounds screened per target, compounds
+// selected for experiment per target).
+func campaignBudget(s Scale) (screened, tested int) {
+	if s == Smoke {
+		return 36, 24
+	}
+	return 420, 260
+}
+
+// Campaign runs (once per scale) the end-to-end screen: draw compounds
+// from all four libraries, prepare, dock against each target, score
+// poses with the distributed Fusion job, fold to per-compound scores,
+// fit the per-target AMPL surrogate, select the purchase list with the
+// weighted cost function and read out the simulated assays.
+func Campaign(s Scale) *CampaignResult {
+	campaignMu.Lock()
+	defer campaignMu.Unlock()
+	if c, ok := campaignCache[s]; ok {
+		return c
+	}
+	b := models(s)
+	nScreen, nTest := campaignBudget(s)
+
+	// Draw the deduplicated screening deck from the four libraries.
+	mols := libgen.Draw(libgen.All(), nScreen)
+	byID := map[string]*chem.Mol{}
+	for _, m := range mols {
+		byID[m.Name] = m
+	}
+
+	res := &CampaignResult{}
+	for ti, tgt := range target.All() {
+		poses, _ := screen.DockCompounds(tgt, mols, 5, int64(5000+ti))
+		jobOpts := screen.DefaultJobOptions()
+		jobOpts.Voxel = b.voxel
+		jobOpts.Graph = b.graph
+		jobOpts.Seed = int64(6000 + ti)
+		preds, _, err := screen.RunJobWithRetry(b.coherent, tgt, toScreenPoses(poses), jobOpts, 3)
+		if err != nil {
+			continue
+		}
+		scores := screen.AggregateByCompound(preds)
+
+		ampl := mmgbsa.NewAMPL(tgt)
+		fitSet := mols
+		if len(fitSet) > 60 {
+			fitSet = fitSet[:60]
+		}
+		if err := ampl.Fit(fitSet); err == nil {
+			screen.AttachAMPL(scores, ampl, byID)
+		}
+		selected := screen.SelectForExperiment(scores, screen.DefaultCostWeights(), nTest)
+
+		out := &TargetOutcome{Target: tgt, Assay: assay.ForTarget(tgt), Screened: len(scores)}
+		for _, cs := range selected {
+			m := byID[cs.CompoundID]
+			if m == nil {
+				continue
+			}
+			inh := out.Assay.Inhibition(m)
+			out.Tested = append(out.Tested, TestedCompound{
+				ID: cs.CompoundID, Fusion: cs.Fusion, Vina: cs.Vina, AMPL: cs.AMPL, Inhibition: inh,
+			})
+			res.NumTested++
+			if inh >= 33 {
+				res.NumHits++
+			}
+			if inh >= 95 {
+				res.NumFull++
+			}
+		}
+		res.PerTarget = append(res.PerTarget, out)
+	}
+	campaignCache[s] = res
+	return res
+}
+
+func toScreenPoses(ps []screen.Pose) []screen.Pose { return ps }
+
+// Figure5Result summarizes predicted affinity vs experimental
+// inhibition for compounds with measurable activity (paper Figure 5).
+type Figure5Result struct {
+	Counts map[string]int // active compounds per target
+	Text   string
+}
+
+// Figure5 reports, per target, the active-compound count and the
+// Fusion prediction statistics of the scatter the paper plots.
+func Figure5(s Scale) Figure5Result {
+	c := Campaign(s)
+	res := Figure5Result{Counts: map[string]int{}}
+	var rows [][]string
+	paperCounts := map[string]string{
+		"protease1": "130 (at 100 uM)", "protease2": "81 (at 100 uM)",
+		"spike1": "151 (at 10 uM)", "spike2": "113 (at 10 uM)",
+	}
+	for _, t := range c.PerTarget {
+		act := t.Active()
+		res.Counts[t.Target.Name] = len(act)
+		var pk, inh []float64
+		for _, a := range act {
+			pk = append(pk, a.Fusion)
+			inh = append(inh, a.Inhibition)
+		}
+		meanPK := mean(pk)
+		rows = append(rows, []string{
+			t.Target.Name,
+			fmt.Sprintf("%d", len(act)),
+			fmt.Sprintf("%.0f uM", t.Assay.ConcentrationUM),
+			fmt.Sprintf("%.2f", meanPK),
+			fmt.Sprintf("%.1f%%", mean(inh)),
+			paperCounts[t.Target.Name],
+		})
+	}
+	res.Text = table("Figure 5: Coherent Fusion predicted pK vs experimental inhibition (> 1% inhibition subset)",
+		[]string{"target", "active n", "assay conc", "mean predicted pK", "mean inhibition", "paper active n"}, rows)
+	return res
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Table8Row is one method x target correlation measurement.
+type Table8Row struct {
+	Method   string
+	Target   string
+	Pearson  float64
+	Spearman float64
+}
+
+// Table8Result is the correlation table on the > 1% inhibition subset
+// (paper Table 8).
+type Table8Result struct {
+	Rows []Table8Row
+	Text string
+}
+
+// Table8 computes Pearson/Spearman of each scoring method against
+// percent inhibition on compounds with measurable activity, using the
+// absolute value of the physics scores (as the paper does).
+func Table8(s Scale) Table8Result {
+	c := Campaign(s)
+	var res Table8Result
+	var rows [][]string
+	paper := map[string][2]string{
+		"Vina/protease1":            {"0.03", "-0.08"},
+		"AMPL MM/GBSA/protease1":    {"0.08", "0.01"},
+		"Coherent Fusion/protease1": {"-0.06", "-0.04"},
+		"Vina/protease2":            {"-0.08", "-0.14"},
+		"AMPL MM/GBSA/protease2":    {"-0.05", "-0.07"},
+		"Coherent Fusion/protease2": {"0.04", "0.04"},
+		"Vina/spike1":               {"-0.02", "0.06"},
+		"AMPL MM/GBSA/spike1":       {"0.15", "0.22"},
+		"Coherent Fusion/spike1":    {"0.22", "0.30"},
+		"Vina/spike2":               {"0.13", "0.27"},
+		"AMPL MM/GBSA/spike2":       {"-0.02", "-0.05"},
+		"Coherent Fusion/spike2":    {"-0.02", "-0.01"},
+	}
+	for _, t := range c.PerTarget {
+		act := t.Active()
+		var inh, vina, ampl, fus []float64
+		for _, a := range act {
+			inh = append(inh, a.Inhibition)
+			vina = append(vina, math.Abs(a.Vina))
+			ampl = append(ampl, math.Abs(a.AMPL))
+			fus = append(fus, a.Fusion)
+		}
+		for _, m := range []struct {
+			name string
+			pred []float64
+		}{
+			{"Vina", vina},
+			{"AMPL MM/GBSA", ampl},
+			{"Coherent Fusion", fus},
+		} {
+			row := Table8Row{
+				Method: m.name, Target: t.Target.Name,
+				Pearson:  metrics.Pearson(m.pred, inh),
+				Spearman: metrics.Spearman(m.pred, inh),
+			}
+			res.Rows = append(res.Rows, row)
+			pv := paper[m.name+"/"+t.Target.Name]
+			rows = append(rows, []string{m.name, t.Target.Name,
+				fmt.Sprintf("%.2f", row.Pearson), fmt.Sprintf("%.2f", row.Spearman),
+				pv[0], pv[1]})
+		}
+	}
+	res.Text = table("Table 8: correlation with percent inhibition (> 1% inhibition subset)",
+		[]string{"method", "target/site", "Pearson", "Spearman", "paper P", "paper S"}, rows)
+	return res
+}
+
+// Figure6Row is one method x target classification result at the 33%
+// inhibition threshold.
+type Figure6Row struct {
+	Method string
+	Target string
+	F1     float64
+	Kappa  float64
+	NPos   int
+	NNeg   int
+}
+
+// Figure6Result is the per-target precision/recall study (paper
+// Figure 6).
+type Figure6Result struct {
+	Rows []Figure6Row
+	Text string
+}
+
+// Figure6 classifies tested compounds at 33% inhibition per target and
+// method, reporting best F1 and Cohen's kappa at the best-F1 operating
+// point against the random-classifier baseline.
+func Figure6(s Scale) Figure6Result {
+	c := Campaign(s)
+	var res Figure6Result
+	var rows [][]string
+	for _, t := range c.PerTarget {
+		var labels []bool
+		var vina, ampl, fus []float64
+		nPos, nNeg := 0, 0
+		for _, a := range t.Tested {
+			pos := a.Inhibition > 33
+			labels = append(labels, pos)
+			if pos {
+				nPos++
+			} else {
+				nNeg++
+			}
+			vina = append(vina, math.Abs(a.Vina))
+			ampl = append(ampl, math.Abs(a.AMPL))
+			fus = append(fus, a.Fusion)
+		}
+		baseline := metrics.PositiveRate(labels)
+		for _, m := range []struct {
+			name string
+			pred []float64
+		}{
+			{"Vina", vina},
+			{"AMPL MM/GBSA", ampl},
+			{"Coherent Fusion", fus},
+		} {
+			f1, thr := metrics.BestF1(m.pred, labels)
+			var cls []bool
+			for _, p := range m.pred {
+				cls = append(cls, p >= thr)
+			}
+			row := Figure6Row{
+				Method: m.name, Target: t.Target.Name,
+				F1: f1, Kappa: metrics.CohenKappa(cls, labels),
+				NPos: nPos, NNeg: nNeg,
+			}
+			res.Rows = append(res.Rows, row)
+			rows = append(rows, []string{m.name, t.Target.Name,
+				fmt.Sprintf("%d/%d", nPos, nNeg),
+				fmt.Sprintf("%.3f", f1), fmt.Sprintf("%.3f", row.Kappa),
+				fmt.Sprintf("%.2f", baseline)})
+		}
+	}
+	res.Text = table("Figure 6: classification at 33% inhibition (paper pos/neg: 30/311, 20/196, 32/209, 26/218)",
+		[]string{"method", "target", "pos/neg", "best F1", "kappa", "random baseline"}, rows)
+	return res
+}
+
+// Figure7Result lists the top experimental inhibitors with their
+// predicted affinities (paper Figure 7: predicted pK 8.5/8.1 for two
+// Mpro compounds at 100% inhibition, 7.6/8.3 for two spike compounds
+// at 100%/98%).
+type Figure7Result struct {
+	Top  []TestedCompound
+	Text string
+}
+
+// Figure7 reports the two strongest experimental inhibitors of
+// protease1 and spike1.
+func Figure7(s Scale) Figure7Result {
+	c := Campaign(s)
+	var res Figure7Result
+	var rows [][]string
+	for _, t := range c.PerTarget {
+		if t.Target != target.Protease1 && t.Target != target.Spike1 {
+			continue
+		}
+		tested := append([]TestedCompound(nil), t.Tested...)
+		sort.SliceStable(tested, func(a, b int) bool { return tested[a].Inhibition > tested[b].Inhibition })
+		for i := 0; i < 2 && i < len(tested); i++ {
+			res.Top = append(res.Top, tested[i])
+			rows = append(rows, []string{t.Target.Name, tested[i].ID,
+				fmt.Sprintf("%.1f", tested[i].Fusion),
+				fmt.Sprintf("%.0f%%", tested[i].Inhibition)})
+		}
+	}
+	res.Text = table("Figure 7: top experimental inhibitors (paper: Mpro 8.5/100%, 8.1/100%; spike 7.6/100%, 8.3/98%)",
+		[]string{"target", "compound", "predicted pK", "inhibition"}, rows)
+	return res
+}
+
+// HitRateResult is the campaign-level enrichment summary (paper
+// Section 5.3: 108 of 1042 tested compounds at >= 33%, a 10.4% hit
+// rate, with 9 distinct compounds at 100% Mpro inhibition).
+type HitRateResult struct {
+	Tested  int
+	Hits    int
+	Full    int
+	HitRate float64
+	Text    string
+}
+
+// HitRate summarizes the campaign's experimental enrichment.
+func HitRate(s Scale) HitRateResult {
+	c := Campaign(s)
+	res := HitRateResult{Tested: c.NumTested, Hits: c.NumHits, Full: c.NumFull, HitRate: c.HitRate()}
+	rows := [][]string{
+		{"compounds tested", fmt.Sprintf("%d", res.Tested), "1042"},
+		{"hits (>= 33% inhibition)", fmt.Sprintf("%d", res.Hits), "108"},
+		{"hit rate", fmt.Sprintf("%.1f%%", 100*res.HitRate), "10.4%"},
+		{"full inhibitors (>= 95%)", fmt.Sprintf("%d", res.Full), "9 (at 100%)"},
+	}
+	res.Text = table("Hit rate: experimental enrichment of the selected compounds",
+		[]string{"metric", "repro", "paper"}, rows)
+	return res
+}

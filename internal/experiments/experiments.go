@@ -1,0 +1,131 @@
+// Package experiments implements every table and figure of the
+// paper's evaluation as a reproducible computation. Each experiment
+// returns both structured results and a formatted text block whose
+// rows mirror the paper's, so the top-level benchmarks and the
+// benchreport command share one implementation. EXPERIMENTS.md records
+// paper-vs-measured values for each.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/pdbbind"
+)
+
+// Scale selects the experiment budget.
+type Scale int
+
+// Budgets: Smoke is for tests (seconds), Full for benchmark runs
+// (minutes).
+const (
+	Smoke Scale = iota
+	Full
+)
+
+// trainBundle carries the models trained once and shared by the
+// model-quality experiments (Table 6, Figure 2, campaign analyses).
+type trainBundle struct {
+	ds       *pdbbind.Dataset
+	train    []*fusion.Sample
+	val      []*fusion.Sample
+	core     []*fusion.Sample
+	cnn      *fusion.CNN3D
+	sg       *fusion.SGCNN
+	late     *fusion.LateFusion
+	mid      *fusion.Fusion
+	coherent *fusion.Fusion
+	voxel    featurize.VoxelOptions
+	graph    featurize.GraphOptions
+}
+
+var (
+	bundleMu sync.Mutex
+	bundles  = map[Scale]*trainBundle{}
+)
+
+// datasetOptions sizes the synthetic PDBbind corpus per scale.
+func datasetOptions(s Scale) pdbbind.Options {
+	o := pdbbind.DefaultOptions()
+	if s == Smoke {
+		o.NGeneral, o.NRefined, o.NCore = 120, 60, 32
+	}
+	return o
+}
+
+// models trains (once per scale) the 3D-CNN, SG-CNN and the three
+// fusion variants on the synthetic PDBbind corpus, following the
+// paper's procedure: individual heads first, Mid-level Fusion with
+// frozen pre-trained heads, Coherent Fusion fine-tuning pre-trained
+// heads.
+func models(s Scale) *trainBundle {
+	bundleMu.Lock()
+	defer bundleMu.Unlock()
+	if b, ok := bundles[s]; ok {
+		return b
+	}
+	b := &trainBundle{voxel: featurize.DefaultVoxelOptions(), graph: featurize.DefaultGraphOptions()}
+	b.ds = pdbbind.Generate(datasetOptions(s))
+	b.train = fusion.FeaturizeDataset(b.ds.Train, b.voxel, b.graph)
+	b.val = fusion.FeaturizeDataset(b.ds.Val, b.voxel, b.graph)
+	b.core = fusion.FeaturizeDataset(b.ds.Core, b.voxel, b.graph)
+
+	cnnCfg := fusion.DefaultCNN3DConfig()
+	sgCfg := fusion.DefaultSGCNNConfig()
+	midCfg := fusion.DefaultMidFusionConfig()
+	cohCfg := fusion.DefaultCoherentConfig()
+	if s == Smoke {
+		cnnCfg.Epochs, sgCfg.Epochs, midCfg.Epochs, cohCfg.Epochs = 2, 4, 2, 2
+	}
+	b.cnn, _ = fusion.TrainCNN3D(cnnCfg, b.train, b.val, 1001)
+	b.sg, _ = fusion.TrainSGCNN(sgCfg, b.train, b.val, 1002)
+	b.late = &fusion.LateFusion{CNN: b.cnn, SG: b.sg}
+
+	b.mid = fusion.NewFusion(midCfg, b.cnn.Clone(), b.sg.Clone(), 1003)
+	fusion.TrainFusion(b.mid, b.train, b.val, 1004)
+
+	b.coherent = fusion.NewFusion(cohCfg, b.cnn.Clone(), b.sg.Clone(), 1005)
+	fusion.TrainFusion(b.coherent, b.train, b.val, 1006)
+
+	bundles[s] = b
+	return b
+}
+
+// Coherent returns the trained Coherent Fusion model for the scale
+// (trains on first use).
+func Coherent(s Scale) *fusion.Fusion { return models(s).coherent }
+
+// table renders rows with a header as an aligned text block.
+func table(title string, header []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

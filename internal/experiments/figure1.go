@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure1 renders the paper's architecture figure as text: the 3D-CNN
+// head, the SG-CNN head and the fusion block of the trained Coherent
+// Fusion model, layer by layer with parameter counts. The dashed
+// optional components of the paper's figure appear when the converged
+// configuration enables them (residual connections, model-specific
+// dense layers, batch normalization).
+func Figure1(s Scale) string {
+	f := Coherent(s)
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 1: Deep Fusion architecture (trained configuration)")
+	fmt.Fprintln(&b, strings.Repeat("-", 72))
+	b.WriteString(f.Summary())
+	return b.String()
+}
+
+// DescribeModels renders all five trained model variants' headline
+// numbers for quick comparison (used by cmd/train -v style output).
+func DescribeModels(s Scale) string {
+	m := models(s)
+	var b strings.Builder
+	fmt.Fprintf(&b, "model parameter counts at %s scale:\n", scaleLabel(s))
+	fmt.Fprintf(&b, "  3D-CNN: %s", firstLineTotal(m.cnn.Summary()))
+	fmt.Fprintf(&b, "  SG-CNN: %s", firstLineTotal(m.sg.Summary()))
+	fmt.Fprintf(&b, "  Coherent Fusion: %s", firstLineTotal(m.coherent.Summary()))
+	return b.String()
+}
+
+func firstLineTotal(summary string) string {
+	for _, line := range strings.Split(summary, "\n") {
+		if strings.Contains(line, "total") {
+			return strings.TrimSpace(line) + "\n"
+		}
+	}
+	return "?\n"
+}
+
+func scaleLabel(s Scale) string {
+	if s == Full {
+		return "full"
+	}
+	return "smoke"
+}

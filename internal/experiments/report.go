@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFullReport renders every experiment at the given scale to w, in
+// the paper's order. cmd/benchreport and release tooling use this to
+// produce a single reproduction document.
+func WriteFullReport(w io.Writer, s Scale) {
+	sections := []func() string{
+		func() string { return Figure1(s) },
+		Table1,
+		func() string { return Table2SGCNN(s).Text },
+		func() string { return Table3CNN3D(s).Text },
+		func() string { return Table4MidFusion(s).Text },
+		func() string { return Table5Coherent(s).Text },
+		func() string { return Table6(s).Text },
+		func() string { return Figure2(s).Text },
+		func() string { return Table7().Text },
+		func() string { return Figure4().Text },
+		func() string { return Figure5(s).Text },
+		func() string { return Table8(s).Text },
+		func() string { return Figure6(s).Text },
+		func() string { return Figure7(s).Text },
+		func() string { return HitRate(s).Text },
+	}
+	for _, f := range sections {
+		fmt.Fprintln(w, f())
+	}
+}

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepfusion/internal/cluster"
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/hpo"
+	"deepfusion/internal/metrics"
+	"deepfusion/internal/mmgbsa"
+)
+
+// Table1 renders the PB2 search space (paper Table 1) from the space
+// definitions.
+func Table1() string {
+	spaces := []struct {
+		name  string
+		space *hpo.Space
+	}{
+		{"3D-CNN", hpo.CNN3DSpacePaper()},
+		{"SG-CNN", hpo.SGCNNSpacePaper()},
+		{"Fusion", hpo.FusionSpacePaper()},
+	}
+	var rows [][]string
+	for _, s := range spaces {
+		for _, p := range s.space.Params {
+			var rng string
+			switch p.Kind {
+			case hpo.Bool:
+				rng = "T/F"
+			case hpo.Choice:
+				if len(p.Strings) > 0 {
+					rng = fmt.Sprintf("%v", p.Strings)
+				} else {
+					rng = fmt.Sprintf("%v", p.Options)
+				}
+			case hpo.Uniform:
+				rng = fmt.Sprintf("U(%g, %g)", p.Lo, p.Hi)
+			case hpo.LogUniform:
+				rng = fmt.Sprintf("logU(%g, %g)", p.Lo, p.Hi)
+			}
+			rows = append(rows, []string{s.name, p.Name, rng})
+		}
+	}
+	return table("Table 1: PB2 hyper-parameter search space",
+		[]string{"model", "hyper-parameter", "range"}, rows)
+}
+
+// HPOResult carries a mini-PB2 outcome for Tables 2-5.
+type HPOResult struct {
+	Best     hpo.Config
+	BestLoss float64
+	Text     string
+}
+
+// hpoBudget returns (population, rounds, epochs/round, train subset).
+func hpoBudget(s Scale) (pop, rounds, epochs, subset int) {
+	if s == Smoke {
+		return 4, 2, 1, 60
+	}
+	return 6, 2, 2, 160
+}
+
+// Table2SGCNN runs the SG-CNN PB2 population (paper: 90 trials) at
+// repro scale and reports the converged hyper-parameters next to the
+// paper's Table 2 values.
+func Table2SGCNN(s Scale) HPOResult {
+	b := models(s)
+	pop, rounds, epochs, subset := hpoBudget(s)
+	train := b.train
+	if len(train) > subset {
+		train = train[:subset]
+	}
+	obj := func(cfg hpo.Config, prev hpo.State, seed int64) (hpo.State, float64) {
+		sgCfg := fusion.DefaultSGCNNConfig()
+		sgCfg.BatchSize = int(cfg.Num["batch_size"])
+		sgCfg.LearningRate = cfg.Num["learning_rate"]
+		sgCfg.CovK = int(cfg.Num["cov_k"])
+		sgCfg.NonCovK = int(cfg.Num["noncov_k"])
+		sgCfg.CovGatherWidth = int(cfg.Num["cov_gather_width"])
+		sgCfg.NonCovGatherWidth = int(cfg.Num["noncov_gather_width"])
+		sgCfg.Graph.CovThreshold = cfg.Num["cov_threshold"]
+		sgCfg.Graph.NonCovThreshold = cfg.Num["noncov_threshold"]
+		sgCfg.Epochs = epochs
+		var m *fusion.SGCNN
+		if prev != nil {
+			m = prev.(*fusion.SGCNN)
+			hist := fusion.ContinueSGCNN(m, sgCfg, train, b.val, seed)
+			return m, hist.ValLoss[len(hist.ValLoss)-1]
+		}
+		m, hist := fusion.TrainSGCNN(sgCfg, train, b.val, seed)
+		return m, hist.ValLoss[len(hist.ValLoss)-1]
+	}
+	res := hpo.Run(hpo.SGCNNSpaceRepro(), obj, hpo.Options{
+		Population: pop, QuantileFraction: 0.5, Rounds: rounds, UCBBeta: 1, Seed: 2001,
+	})
+	rows := [][]string{
+		{"Batch size", fmt.Sprintf("%.0f", res.Best.Config.Num["batch_size"]), "16"},
+		{"Learning rate", fmt.Sprintf("%.3g", res.Best.Config.Num["learning_rate"]), "2.66e-3"},
+		{"Non-covalent K", fmt.Sprintf("%.0f", res.Best.Config.Num["noncov_k"]), "3"},
+		{"Covalent K", fmt.Sprintf("%.0f", res.Best.Config.Num["cov_k"]), "6"},
+		{"Non-covalent threshold (A)", fmt.Sprintf("%.2f", res.Best.Config.Num["noncov_threshold"]), "5.22"},
+		{"Covalent threshold (A)", fmt.Sprintf("%.2f", res.Best.Config.Num["cov_threshold"]), "2.24"},
+		{"Non-covalent gather width", fmt.Sprintf("%.0f", res.Best.Config.Num["noncov_gather_width"]), "128 (repro/5.3)"},
+		{"Covalent gather width", fmt.Sprintf("%.0f", res.Best.Config.Num["cov_gather_width"]), "24 (repro/2)"},
+		{"Best val MSE", fmt.Sprintf("%.3f", res.Best.Loss), "-"},
+	}
+	return HPOResult{Best: res.Best.Config, BestLoss: res.Best.Loss,
+		Text: table(fmt.Sprintf("Table 2: final SG-CNN hyper-parameters (PB2, population %d)", pop),
+			[]string{"hyper-parameter", "repro", "paper"}, rows)}
+}
+
+// Table3CNN3D runs the 3D-CNN PB2 population (paper: 90 trials).
+func Table3CNN3D(s Scale) HPOResult {
+	b := models(s)
+	pop, rounds, epochs, subset := hpoBudget(s)
+	if s == Full {
+		subset = 160 // the 3D-CNN is the costliest head; keep PB2 tractable
+	}
+	train := b.train
+	if len(train) > subset {
+		train = train[:subset]
+	}
+	obj := func(cfg hpo.Config, prev hpo.State, seed int64) (hpo.State, float64) {
+		c := fusion.DefaultCNN3DConfig()
+		c.BatchSize = int(cfg.Num["batch_size"])
+		c.LearningRate = cfg.Num["learning_rate"]
+		c.BatchNorm = cfg.Num["batch_norm"] == 1
+		c.DenseNodes = int(cfg.Num["dense_nodes"])
+		c.Residual1 = cfg.Num["residual1"] == 1
+		c.Residual2 = cfg.Num["residual2"] == 1
+		c.ConvFilters1 = int(cfg.Num["conv_filters1"])
+		c.ConvFilters2 = int(cfg.Num["conv_filters2"])
+		c.Epochs = epochs
+		// The 3D-CNN's architecture hyper-parameters change tensor
+		// shapes, so PB2 restarts the model when they differ; matching
+		// shapes resume training (state carry-over).
+		if prev != nil {
+			if m, ok := prev.(*fusion.CNN3D); ok && sameCNNShape(m.Cfg, c) {
+				c2 := c
+				mHist := fusion.ContinueCNN3D(m, c2, train, b.val, seed)
+				return m, mHist.ValLoss[len(mHist.ValLoss)-1]
+			}
+		}
+		m, hist := fusion.TrainCNN3D(c, train, b.val, seed)
+		return m, hist.ValLoss[len(hist.ValLoss)-1]
+	}
+	res := hpo.Run(hpo.CNN3DSpaceRepro(), obj, hpo.Options{
+		Population: pop, QuantileFraction: 0.5, Rounds: rounds, UCBBeta: 1, Seed: 2002,
+	})
+	boolStr := func(v float64) string {
+		if v == 1 {
+			return "T"
+		}
+		return "F"
+	}
+	rows := [][]string{
+		{"Batch size", fmt.Sprintf("%.0f", res.Best.Config.Num["batch_size"]), "12"},
+		{"Learning rate", fmt.Sprintf("%.3g", res.Best.Config.Num["learning_rate"]), "4.90e-5"},
+		{"Batch normalization", boolStr(res.Best.Config.Num["batch_norm"]), "F"},
+		{"# dense nodes", fmt.Sprintf("%.0f", res.Best.Config.Num["dense_nodes"]), "128 (repro/4)"},
+		{"# conv filters 1", fmt.Sprintf("%.0f", res.Best.Config.Num["conv_filters1"]), "32 (repro/4)"},
+		{"# conv filters 2", fmt.Sprintf("%.0f", res.Best.Config.Num["conv_filters2"]), "64 (repro/4)"},
+		{"Residual option 1", boolStr(res.Best.Config.Num["residual1"]), "F"},
+		{"Residual option 2", boolStr(res.Best.Config.Num["residual2"]), "T"},
+		{"Best val MSE", fmt.Sprintf("%.3f", res.Best.Loss), "-"},
+	}
+	return HPOResult{Best: res.Best.Config, BestLoss: res.Best.Loss,
+		Text: table(fmt.Sprintf("Table 3: final 3D-CNN hyper-parameters (PB2, population %d)", pop),
+			[]string{"hyper-parameter", "repro", "paper"}, rows)}
+}
+
+func sameCNNShape(a, b fusion.CNN3DConfig) bool {
+	return a.ConvFilters1 == b.ConvFilters1 && a.ConvFilters2 == b.ConvFilters2 &&
+		a.DenseNodes == b.DenseNodes && a.BatchNorm == b.BatchNorm
+}
+
+// fusionHPO runs a PB2 population over the fusion space with the given
+// coherence mode fixed, returning the converged configuration.
+func fusionHPO(s Scale, coherent bool, seed int64) (HPOResult, hpo.Config) {
+	b := models(s)
+	pop, rounds, epochs, subset := hpoBudget(s)
+	train := b.train
+	if len(train) > subset {
+		train = train[:subset]
+	}
+	obj := func(cfg hpo.Config, prev hpo.State, objSeed int64) (hpo.State, float64) {
+		fCfg := fusion.FusionConfig{
+			NumFusionLayers: int(cfg.Num["num_fusion_layers"]),
+			DenseNodes:      int(cfg.Num["dense_nodes"]),
+			ModelSpecific:   cfg.Num["model_specific_layers"] == 1,
+			ResidualFusion:  cfg.Num["residual_fusion"] == 1,
+			Activation:      cfg.Strs["activation"],
+			Optimizer:       cfg.Strs["optimizer"],
+			Dropout1:        cfg.Num["dropout1"],
+			Dropout2:        cfg.Num["dropout2"],
+			Dropout3:        cfg.Num["dropout3"],
+			LearningRate:    cfg.Num["learning_rate"],
+			BatchSize:       int(cfg.Num["batch_size"]),
+			Epochs:          epochs,
+			Pretrained:      cfg.Num["pretrained"] == 1,
+			Coherent:        coherent,
+		}
+		var f *fusion.Fusion
+		if prev != nil {
+			if pf, ok := prev.(*fusion.Fusion); ok && sameFusionShape(pf.Cfg, fCfg) {
+				f = pf
+				f.Cfg.LearningRate = fCfg.LearningRate
+				f.Cfg.BatchSize = fCfg.BatchSize
+				hist := fusion.TrainFusion(f, train, b.val, objSeed)
+				return f, hist.ValLoss[len(hist.ValLoss)-1]
+			}
+		}
+		var cnn *fusion.CNN3D
+		var sg *fusion.SGCNN
+		if fCfg.Pretrained {
+			cnn, sg = b.cnn.Clone(), b.sg.Clone()
+		} else {
+			cnn = fusion.NewCNN3D(fusion.DefaultCNN3DConfig(), objSeed)
+			sg = fusion.NewSGCNN(fusion.DefaultSGCNNConfig(), objSeed+1)
+		}
+		f = fusion.NewFusion(fCfg, cnn, sg, objSeed+2)
+		hist := fusion.TrainFusion(f, train, b.val, objSeed)
+		return f, hist.ValLoss[len(hist.ValLoss)-1]
+	}
+	res := hpo.Run(hpo.FusionSpaceRepro(), obj, hpo.Options{
+		Population: pop, QuantileFraction: 0.5, Rounds: rounds, UCBBeta: 1, Seed: seed,
+	})
+	return HPOResult{Best: res.Best.Config, BestLoss: res.Best.Loss}, res.Best.Config
+}
+
+func sameFusionShape(a, b fusion.FusionConfig) bool {
+	return a.NumFusionLayers == b.NumFusionLayers && a.DenseNodes == b.DenseNodes &&
+		a.ModelSpecific == b.ModelSpecific && a.ResidualFusion == b.ResidualFusion &&
+		a.Activation == b.Activation && a.Optimizer == b.Optimizer &&
+		a.Pretrained == b.Pretrained
+}
+
+func fusionHPOTable(title string, r HPOResult, paper map[string]string) string {
+	boolStr := func(v float64) string {
+		if v == 1 {
+			return "T"
+		}
+		return "F"
+	}
+	c := r.Best
+	rows := [][]string{
+		{"Pre-trained", boolStr(c.Num["pretrained"]), paper["pretrained"]},
+		{"Batch size", fmt.Sprintf("%.0f", c.Num["batch_size"]), paper["batch_size"]},
+		{"Learning rate", fmt.Sprintf("%.3g", c.Num["learning_rate"]), paper["learning_rate"]},
+		{"Optimizer", c.Strs["optimizer"], paper["optimizer"]},
+		{"Activation", c.Strs["activation"], paper["activation"]},
+		{"Model-specific layers", boolStr(c.Num["model_specific_layers"]), paper["model_specific"]},
+		{"Residual fusion layers", boolStr(c.Num["residual_fusion"]), paper["residual"]},
+		{"Dropout 1 (early)", fmt.Sprintf("%.3f", c.Num["dropout1"]), paper["dropout1"]},
+		{"Dropout 2 (mid)", fmt.Sprintf("%.3f", c.Num["dropout2"]), paper["dropout2"]},
+		{"Dropout 3 (late)", fmt.Sprintf("%.3f", c.Num["dropout3"]), paper["dropout3"]},
+		{"# fusion layers", fmt.Sprintf("%.0f", c.Num["num_fusion_layers"]), paper["layers"]},
+		{"Best val MSE", fmt.Sprintf("%.3f", r.BestLoss), "-"},
+	}
+	return table(title, []string{"hyper-parameter", "repro", "paper"}, rows)
+}
+
+// Table4MidFusion runs PB2 for Mid-level Fusion (paper: 180 trials).
+func Table4MidFusion(s Scale) HPOResult {
+	r, _ := fusionHPO(s, false, 2003)
+	r.Text = fusionHPOTable("Table 4: final Mid-level Fusion hyper-parameters", r, map[string]string{
+		"pretrained": "T", "batch_size": "1", "learning_rate": "4.03e-4",
+		"optimizer": "adam", "activation": "selu", "model_specific": "T",
+		"residual": "T", "dropout1": "0.251", "dropout2": "0.125",
+		"dropout3": "~0", "layers": "5",
+	})
+	return r
+}
+
+// Table5Coherent runs PB2 for Coherent Fusion (paper: 270 trials).
+func Table5Coherent(s Scale) HPOResult {
+	r, _ := fusionHPO(s, true, 2004)
+	r.Text = fusionHPOTable("Table 5: final Coherent Fusion hyper-parameters", r, map[string]string{
+		"pretrained": "T", "batch_size": "48", "learning_rate": "1.08e-4",
+		"optimizer": "adam", "activation": "selu", "model_specific": "F",
+		"residual": "F", "dropout1": "0.386", "dropout2": "0.247",
+		"dropout3": "0.055", "layers": "4",
+	})
+	return r
+}
+
+// Table6Row is one model's core-set performance.
+type Table6Row struct {
+	Model    string
+	RMSE     float64
+	MAE      float64
+	R2       float64
+	Pearson  float64
+	Spearman float64
+}
+
+// Table6Result is the core-set benchmark (paper Table 6).
+type Table6Result struct {
+	Rows []Table6Row
+	Text string
+}
+
+// Table6 evaluates Mid-level, Late and Coherent Fusion on the held-out
+// core set crystal poses.
+func Table6(s Scale) Table6Result {
+	b := models(s)
+	labels := fusion.Labels(b.core)
+	eval := func(name string, preds []float64) Table6Row {
+		return Table6Row{
+			Model:    name,
+			RMSE:     metrics.RMSE(preds, labels),
+			MAE:      metrics.MAE(preds, labels),
+			R2:       metrics.R2(preds, labels),
+			Pearson:  metrics.Pearson(preds, labels),
+			Spearman: metrics.Spearman(preds, labels),
+		}
+	}
+	var res Table6Result
+	res.Rows = append(res.Rows, eval("3D-CNN", fusion.PredictCNN3D(b.cnn, b.core)))
+	res.Rows = append(res.Rows, eval("SG-CNN", fusion.PredictSGCNN(b.sg, b.core)))
+	res.Rows = append(res.Rows, eval("Mid-level Fusion", b.mid.PredictAll(b.core)))
+	res.Rows = append(res.Rows, eval("Late Fusion", b.late.PredictAll(b.core)))
+	res.Rows = append(res.Rows, eval("Coherent Fusion", b.coherent.PredictAll(b.core)))
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{r.Model,
+			fmt.Sprintf("%.3f", r.RMSE), fmt.Sprintf("%.3f", r.MAE),
+			fmt.Sprintf("%.3f", r.R2), fmt.Sprintf("%.3f", r.Pearson),
+			fmt.Sprintf("%.3f", r.Spearman)})
+	}
+	res.Text = table(fmt.Sprintf("Table 6: PDBbind core set (n=%d crystal poses); paper: Mid 1.38/0.778, Late 1.33/0.813, Coherent 1.30/0.807 (RMSE/Pearson)", len(labels)),
+		[]string{"model", "RMSE", "MAE", "R2", "Pearson", "Spearman"}, rows)
+	return res
+}
+
+// Table7Result is the throughput table (paper Table 7).
+type Table7Result struct {
+	SingleStartupMin float64
+	SingleEvalMin    float64
+	SingleOutputMin  float64
+	SinglePosesSec   float64
+	PeakPosesSec     float64
+	PeakPosesHour    float64
+	PeakCompoundsHr  float64
+	VinaSpeedup      float64
+	GBSASpeedup      float64
+	Text             string
+}
+
+// Table7 simulates the single-job anatomy and the 125-parallel-job
+// peak on the cluster model.
+func Table7() Table7Result {
+	spec := cluster.DefaultFusionJob()
+	// Average the single-job anatomy over simulated runs.
+	var res Table7Result
+	const runs = 40
+	n := 0
+	rng := newRand(3001)
+	for i := 0; i < runs; i++ {
+		j := cluster.SimulateFusionJob(spec, rng)
+		if j.Failed {
+			continue
+		}
+		res.SingleStartupMin += j.Startup.Minutes()
+		res.SingleEvalMin += j.Eval.Minutes()
+		res.SingleOutputMin += j.Output.Minutes()
+		res.SinglePosesSec += j.PosesPerSecond()
+		n++
+	}
+	res.SingleStartupMin /= float64(n)
+	res.SingleEvalMin /= float64(n)
+	res.SingleOutputMin /= float64(n)
+	res.SinglePosesSec /= float64(n)
+	res.PeakPosesSec = cluster.PeakThroughput(125, spec)
+	res.PeakPosesHour = res.PeakPosesSec * 3600
+	res.PeakCompoundsHr = res.PeakPosesHour / 10
+	perNode := res.SinglePosesSec / float64(spec.Nodes)
+	res.VinaSpeedup = perNode / mmgbsa.VinaPosesPerSecPerNode
+	res.GBSASpeedup = perNode / mmgbsa.MMGBSAPosesPerSecPerNode
+	rows := [][]string{
+		{"Avg. startup (min)", fmt.Sprintf("%.1f", res.SingleStartupMin), "20"},
+		{"Avg. evaluation (min)", fmt.Sprintf("%.1f", res.SingleEvalMin), "280"},
+		{"Avg. file output (min)", fmt.Sprintf("%.1f", res.SingleOutputMin), "6.5"},
+		{"Poses/sec (single job)", fmt.Sprintf("%.0f", res.SinglePosesSec), "108"},
+		{"Poses/sec (peak, 125 jobs)", fmt.Sprintf("%.0f", res.PeakPosesSec), "13,594"},
+		{"Poses/hour (peak)", fmt.Sprintf("%.2e", res.PeakPosesHour), "48,600,000"},
+		{"Compounds/hour (peak)", fmt.Sprintf("%.2e", res.PeakCompoundsHr), "4,860,000"},
+		{"Speedup vs Vina (per node)", fmt.Sprintf("%.1fx", res.VinaSpeedup), "2.7x"},
+		{"Speedup vs MM/GBSA (per node)", fmt.Sprintf("%.0fx", res.GBSASpeedup), "403x"},
+	}
+	res.Text = table("Table 7: Fusion prediction throughput (2M poses/job, 4 nodes)",
+		[]string{"metric", "repro", "paper"}, rows)
+	return res
+}

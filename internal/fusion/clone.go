@@ -1,0 +1,33 @@
+package fusion
+
+import "deepfusion/internal/nn"
+
+// Clone returns a deep copy of the model with identical weights. The
+// screening pipeline gives each rank its own replica, mirroring the
+// paper's one-model-instance-per-GPU deployment (forward caches make a
+// single instance unsafe to share across goroutines).
+func (m *CNN3D) Clone() *CNN3D {
+	c := NewCNN3D(m.Cfg, 0)
+	if err := nn.CopyParams(c.Params(), m.Params()); err != nil {
+		panic("fusion: CNN3D clone shape mismatch: " + err.Error())
+	}
+	return c
+}
+
+// Clone returns a deep copy of the model with identical weights.
+func (m *SGCNN) Clone() *SGCNN {
+	c := NewSGCNN(m.Cfg, 0)
+	if err := nn.CopyParams(c.Params(), m.Params()); err != nil {
+		panic("fusion: SGCNN clone shape mismatch: " + err.Error())
+	}
+	return c
+}
+
+// Clone returns a deep copy of the fusion model, including both heads.
+func (f *Fusion) Clone() *Fusion {
+	c := NewFusion(f.Cfg, f.CNN.Clone(), f.SG.Clone(), 0)
+	if err := nn.CopyParams(c.FusionParams(), f.FusionParams()); err != nil {
+		panic("fusion: Fusion clone shape mismatch: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,20 @@
+package fusion
+
+import (
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/pdbbind"
+	"deepfusion/internal/tensor"
+)
+
+// FeaturizeDataset converts PDBbind complexes into model-ready samples
+// in parallel.
+func FeaturizeDataset(cs []*pdbbind.Complex, vo featurize.VoxelOptions, gro featurize.GraphOptions) []*Sample {
+	out := make([]*Sample, len(cs))
+	tensor.ParallelFor(len(cs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := cs[i]
+			out[i] = FeaturizeComplex(c.ID, c.Pocket, c.Mol, c.Label, vo, gro)
+		}
+	})
+	return out
+}

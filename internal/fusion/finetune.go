@@ -1,0 +1,37 @@
+package fusion
+
+// Target-specific fine-tuning: the paper's stated future work ("use
+// our baseline Coherent Fusion model to fine tune and predict for
+// specific protein target types and binding sites ... reducing the
+// scope of the binding affinity prediction problem will increase the
+// value of relative differences in the model's predictions").
+//
+// FineTune continues coherent training of a trained model on
+// complexes from a single target, at a reduced learning rate so the
+// general-purpose weights are adapted rather than overwritten.
+
+// FineTuneOptions configures target-specific adaptation.
+type FineTuneOptions struct {
+	Epochs       int
+	LearningRate float64 // typically ~1/4 of the base rate
+	BatchSize    int
+}
+
+// DefaultFineTuneOptions returns a short, conservative adaptation.
+func DefaultFineTuneOptions() FineTuneOptions {
+	return FineTuneOptions{Epochs: 3, LearningRate: 2.7e-5, BatchSize: 8}
+}
+
+// FineTune clones the model and adapts the clone to the given
+// target-specific samples (all from one binding site), returning the
+// specialized model and its training history. The input model is
+// unchanged.
+func FineTune(base *Fusion, targetSamples, val []*Sample, o FineTuneOptions, seed int64) (*Fusion, *History) {
+	ft := base.Clone()
+	ft.Cfg.Coherent = true // adaptation always reaches into the heads
+	ft.Cfg.Epochs = o.Epochs
+	ft.Cfg.LearningRate = o.LearningRate
+	ft.Cfg.BatchSize = o.BatchSize
+	hist := TrainFusion(ft, targetSamples, val, seed)
+	return ft, hist
+}

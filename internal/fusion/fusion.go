@@ -1,0 +1,223 @@
+package fusion
+
+import (
+	"math/rand"
+
+	"deepfusion/internal/nn"
+	"deepfusion/internal/tensor"
+)
+
+// LateFusion predicts the unweighted arithmetic mean of the two base
+// model predictions (paper Section 2.1).
+type LateFusion struct {
+	CNN *CNN3D
+	SG  *SGCNN
+}
+
+// Predict evaluates one sample.
+func (l *LateFusion) Predict(s *Sample) float64 {
+	x := stackVoxels([]*Sample{s}, nil)
+	cnnPred, _ := l.CNN.Forward(x, false)
+	sgPred, _ := l.SG.Forward(s.Graph, false)
+	return (cnnPred.Data[0] + sgPred.Data[0]) / 2
+}
+
+// PredictAll evaluates many samples.
+func (l *LateFusion) PredictAll(samples []*Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = l.Predict(s)
+	}
+	return out
+}
+
+// Fusion is the Mid-level / Coherent Fusion model: latent vectors from
+// both heads, optional model-specific dense layers, concatenation, and
+// a stack of fusion dense layers ending in a single affinity output
+// (Figure 1, yellow block). With Cfg.Coherent the backward pass
+// continues into both heads (the paper's new Coherent Fusion); without
+// it the heads are frozen feature extractors (Mid-level Fusion).
+type Fusion struct {
+	Cfg FusionConfig
+	CNN *CNN3D
+	SG  *SGCNN
+
+	msCNN, msSG *nn.Dense // model-specific layers (optional)
+	msActC      *nn.Activation
+	msActS      *nn.Activation
+	layers      []*nn.Dense
+	acts        []*nn.Activation
+	drops       []*nn.Dropout
+	bns         []*nn.BatchNorm
+	out         *nn.Dense
+
+	concatWidth int
+	cnnLatW     int
+	sgLatW      int
+	msW         int
+}
+
+// NewFusion wires a fusion head around trained (or fresh) base models.
+func NewFusion(cfg FusionConfig, cnn *CNN3D, sg *SGCNN, seed int64) *Fusion {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Fusion{Cfg: cfg, CNN: cnn, SG: sg, cnnLatW: cnn.LatentWidth(), sgLatW: sg.LatentWidth()}
+	f.concatWidth = f.cnnLatW + f.sgLatW
+	if cfg.ModelSpecific {
+		f.msW = cfg.DenseNodes
+		f.msCNN = nn.NewDense(rng, f.cnnLatW, f.msW)
+		f.msSG = nn.NewDense(rng, f.sgLatW, f.msW)
+		f.msActC = nn.NewActivation(cfg.Activation)
+		f.msActS = nn.NewActivation(cfg.Activation)
+		f.concatWidth += 2 * f.msW
+	}
+	width := f.concatWidth
+	dropRates := []float64{cfg.Dropout1, cfg.Dropout2, cfg.Dropout3}
+	for i := 0; i < cfg.NumFusionLayers; i++ {
+		next := cfg.DenseNodes
+		f.layers = append(f.layers, nn.NewDense(rng, width, next))
+		f.acts = append(f.acts, nn.NewActivation(cfg.Activation))
+		rate := 0.0
+		if i < len(dropRates) {
+			rate = dropRates[i]
+		}
+		f.drops = append(f.drops, nn.NewDropout(rng, rate))
+		if cfg.BatchNorm {
+			f.bns = append(f.bns, nn.NewBatchNorm(next))
+		} else {
+			f.bns = append(f.bns, nil)
+		}
+		width = next
+	}
+	f.out = nn.NewDense(rng, width, 1)
+	return f
+}
+
+// FusionParams returns the fusion-layer parameters only (what
+// Mid-level Fusion trains).
+func (f *Fusion) FusionParams() []*nn.Param {
+	var ps []*nn.Param
+	if f.msCNN != nil {
+		ps = append(ps, f.msCNN.Params()...)
+		ps = append(ps, f.msSG.Params()...)
+	}
+	for i, l := range f.layers {
+		ps = append(ps, l.Params()...)
+		if f.bns[i] != nil {
+			ps = append(ps, f.bns[i].Params()...)
+		}
+	}
+	return append(ps, f.out.Params()...)
+}
+
+// Params returns the trainable parameters for the configured mode:
+// fusion layers only (Mid-level) or fusion layers plus both heads
+// (Coherent).
+func (f *Fusion) Params() []*nn.Param {
+	ps := f.FusionParams()
+	if f.Cfg.Coherent {
+		ps = append(ps, f.CNN.Params()...)
+		ps = append(ps, f.SG.Params()...)
+	}
+	return ps
+}
+
+// forward evaluates one sample, returning the prediction ([1, 1]).
+// When train is true, dropout is active in the fusion stack; the heads
+// run in training mode only under Coherent Fusion (frozen heads stay
+// deterministic).
+func (f *Fusion) forward(s *Sample, train bool, rng *rand.Rand) *tensor.Tensor {
+	headTrain := train && f.Cfg.Coherent
+	var vox *tensor.Tensor
+	if headTrain && rng != nil {
+		vox = stackVoxels([]*Sample{s}, rng)
+	} else {
+		vox = stackVoxels([]*Sample{s}, nil)
+	}
+	_, cnnLat := f.CNN.Forward(vox, headTrain)
+	_, sgLat := f.SG.Forward(s.Graph, headTrain)
+
+	concat := tensor.New(1, f.concatWidth)
+	copy(concat.Data[:f.cnnLatW], cnnLat.Data)
+	copy(concat.Data[f.cnnLatW:f.cnnLatW+f.sgLatW], sgLat.Data)
+	if f.msCNN != nil {
+		mc := f.msActC.Forward(f.msCNN.Forward(cnnLat, train), train)
+		ms := f.msActS.Forward(f.msSG.Forward(sgLat, train), train)
+		off := f.cnnLatW + f.sgLatW
+		copy(concat.Data[off:off+f.msW], mc.Data)
+		copy(concat.Data[off+f.msW:], ms.Data)
+	}
+	h := concat
+	for i, l := range f.layers {
+		prev := h
+		h = l.Forward(h, train)
+		if f.bns[i] != nil {
+			h = f.bns[i].Forward(h, train)
+		}
+		h = f.acts[i].Forward(h, train)
+		h = f.drops[i].Forward(h, train)
+		if f.Cfg.ResidualFusion && prev.Dim(1) == h.Dim(1) {
+			h = tensor.Add(h, prev)
+		}
+	}
+	return f.out.Forward(h, train)
+}
+
+// backward propagates the prediction gradient through the fusion stack
+// and, under Coherent Fusion, into both heads.
+func (f *Fusion) backward(dpred *tensor.Tensor) {
+	g := f.out.Backward(dpred)
+	for i := len(f.layers) - 1; i >= 0; i-- {
+		skip := f.Cfg.ResidualFusion && residualApplied(f, i)
+		gd := f.drops[i].Backward(g)
+		gd = f.acts[i].Backward(gd)
+		if f.bns[i] != nil {
+			gd = f.bns[i].Backward(gd)
+		}
+		gd = f.layers[i].Backward(gd)
+		if skip {
+			gd.AddInPlace(g)
+		}
+		g = gd
+	}
+	// Split concat gradient.
+	dcnnLat := tensor.FromSlice(append([]float64(nil), g.Data[:f.cnnLatW]...), 1, f.cnnLatW)
+	dsgLat := tensor.FromSlice(append([]float64(nil), g.Data[f.cnnLatW:f.cnnLatW+f.sgLatW]...), 1, f.sgLatW)
+	if f.msCNN != nil {
+		off := f.cnnLatW + f.sgLatW
+		dmc := tensor.FromSlice(append([]float64(nil), g.Data[off:off+f.msW]...), 1, f.msW)
+		dms := tensor.FromSlice(append([]float64(nil), g.Data[off+f.msW:]...), 1, f.msW)
+		dcnnLat.AddInPlace(f.msCNN.Backward(f.msActC.Backward(dmc)))
+		dsgLat.AddInPlace(f.msSG.Backward(f.msActS.Backward(dms)))
+	}
+	if f.Cfg.Coherent {
+		f.CNN.Backward(nil, dcnnLat)
+		f.SG.Backward(nil, dsgLat)
+	}
+}
+
+// residualApplied reports whether the skip connection fired for layer
+// i during forward (widths must match).
+func residualApplied(f *Fusion, i int) bool {
+	inW := f.concatWidth
+	if i > 0 {
+		inW = f.Cfg.DenseNodes
+	}
+	return inW == f.Cfg.DenseNodes
+}
+
+// Predict evaluates one sample in inference mode.
+func (f *Fusion) Predict(s *Sample) float64 {
+	return f.forward(s, false, nil).Data[0]
+}
+
+// PredictAll evaluates samples in parallel-safe sequence. (Each Fusion
+// instance holds forward caches, so concurrent Predict calls on one
+// instance are not safe; the screening pipeline gives each rank its own
+// replica, as the paper loads one model instance per GPU.)
+func (f *Fusion) PredictAll(samples []*Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = f.Predict(s)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package fusion
+
+import (
+	"math/rand"
+
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/graph"
+	"deepfusion/internal/nn"
+	"deepfusion/internal/tensor"
+)
+
+// SGCNN is the spatial-graph head (PotentialNet architecture, as in
+// the original FAST code): a covalent gated-graph stage over the bond
+// graph, a non-covalent stage over the distance-thresholded contact
+// graph (including protein nodes), the gated gather pooling over
+// ligand atoms, and a dense stack whose sizes follow the Non-covalent
+// Gather Width reduced by 1.5x and then 2x. The gather output is the
+// latent vector consumed by the fusion layers (Layer N-3).
+type SGCNN struct {
+	Cfg SGCNNConfig
+
+	proj    *graph.Project // node features -> covalent width
+	covConv *graph.GGConv
+	bridge  *graph.Project // covalent width -> non-covalent width
+	ncConv  *graph.GGConv
+	gather  *graph.Gather
+	d1, d2  *nn.Dense
+	out     *nn.Dense
+	act1    *nn.Activation
+	act2    *nn.Activation
+}
+
+// LatentWidth returns the fusion-visible latent vector width (the
+// gather output width).
+func (m *SGCNN) LatentWidth() int { return m.Cfg.NonCovGatherWidth }
+
+// NewSGCNN constructs the model.
+func NewSGCNN(cfg SGCNNConfig, seed int64) *SGCNN {
+	rng := rand.New(rand.NewSource(seed))
+	w1 := cfg.CovGatherWidth
+	w2 := cfg.NonCovGatherWidth
+	d1w := max(2, w2*2/3) // reduce by 1.5x
+	d2w := max(1, d1w/2)  // then by 2x
+	return &SGCNN{
+		Cfg:     cfg,
+		proj:    graph.NewProject(rng, featurize.NodeFeatures, w1),
+		covConv: graph.NewGGConv(rng, w1, cfg.CovK),
+		bridge:  graph.NewProject(rng, w1, w2),
+		ncConv:  graph.NewGGConv(rng, w2, cfg.NonCovK),
+		gather:  graph.NewGather(rng, w2, featurize.NodeFeatures, w2),
+		d1:      nn.NewDense(rng, w2, d1w),
+		d2:      nn.NewDense(rng, d1w, d2w),
+		out:     nn.NewDense(rng, d2w, 1),
+		act1:    nn.NewActivation(nn.ActReLU),
+		act2:    nn.NewActivation(nn.ActReLU),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Params returns all trainable parameters.
+func (m *SGCNN) Params() []*nn.Param {
+	ps := append([]*nn.Param{}, m.proj.Params()...)
+	ps = append(ps, m.covConv.Params()...)
+	ps = append(ps, m.bridge.Params()...)
+	ps = append(ps, m.ncConv.Params()...)
+	ps = append(ps, m.gather.Params()...)
+	ps = append(ps, m.d1.Params()...)
+	ps = append(ps, m.d2.Params()...)
+	ps = append(ps, m.out.Params()...)
+	return ps
+}
+
+// Forward evaluates one complex graph, returning the prediction
+// ([1, 1]) and the latent gather vector ([1, NonCovGatherWidth]).
+func (m *SGCNN) Forward(g *featurize.Graph, train bool) (pred, latent *tensor.Tensor) {
+	h := m.proj.Forward(g.Nodes)
+	h = m.covConv.Forward(h, g.Covalent)
+	h = m.bridge.Forward(h)
+	h = m.ncConv.Forward(h, g.NonCov)
+	latent = m.gather.Forward(h, g.Nodes, g.NumLigand)
+	y := m.act1.Forward(m.d1.Forward(latent, train), train)
+	y = m.act2.Forward(m.d2.Forward(y, train), train)
+	pred = m.out.Forward(y, train)
+	return pred, latent
+}
+
+// Backward propagates gradients from the prediction (dpred, [1, 1])
+// and/or the latent vector (dlatent, [1, W]); either may be nil.
+func (m *SGCNN) Backward(dpred, dlatent *tensor.Tensor) {
+	var g *tensor.Tensor
+	if dpred != nil {
+		g = m.out.Backward(dpred)
+		g = m.act2.Backward(g)
+		g = m.d2.Backward(g)
+		g = m.act1.Backward(g)
+		g = m.d1.Backward(g)
+	}
+	if dlatent != nil {
+		if g == nil {
+			g = dlatent.Clone()
+		} else {
+			g.AddInPlace(dlatent)
+		}
+	}
+	if g == nil {
+		return
+	}
+	dh := m.gather.Backward(g)
+	dh = m.ncConv.Backward(dh)
+	dh = m.bridge.Backward(dh)
+	dh = m.covConv.Backward(dh)
+	m.proj.Backward(dh)
+}

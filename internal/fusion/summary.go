@@ -1,0 +1,108 @@
+package fusion
+
+// Architecture summaries — the textual rendering of the paper's
+// Figure 1: the 3D-CNN head (orange), the SG-CNN head (blue) and the
+// fusion block (yellow), with shapes and trainable-parameter counts.
+
+import (
+	"fmt"
+	"strings"
+
+	"deepfusion/internal/nn"
+)
+
+func countParams(ps []*nn.Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// Summary renders the 3D-CNN head layer by layer.
+func (m *CNN3D) Summary() string {
+	var b strings.Builder
+	g := m.Cfg.Voxel.GridSize
+	c := m.Cfg.Voxel.Channels()
+	fmt.Fprintf(&b, "3D-CNN head (input voxel grid [%d, %d, %d, %d]):\n", c, g, g, g)
+	row := func(name, desc string, ps []*nn.Param) {
+		fmt.Fprintf(&b, "  %-22s %-38s %8d params\n", name, desc, countParams(ps))
+	}
+	row("conv1 (5x5x5)", fmt.Sprintf("%d -> %d filters, ReLU", c, m.Cfg.ConvFilters1), m.conv1.Params())
+	res1 := ""
+	if m.Cfg.Residual1 {
+		res1 = " + residual 1"
+	}
+	row("conv2 (3x3x3)", fmt.Sprintf("%d -> %d filters, ReLU%s", m.Cfg.ConvFilters1, m.Cfg.ConvFilters1, res1), m.conv2.Params())
+	fmt.Fprintf(&b, "  %-22s %-38s\n", "maxpool 2x", fmt.Sprintf("grid %d -> %d", g, g/2))
+	row("conv3 (3x3x3)", fmt.Sprintf("%d -> %d filters, ReLU", m.Cfg.ConvFilters1, m.Cfg.ConvFilters2), m.conv3.Params())
+	res2 := ""
+	if m.Cfg.Residual2 {
+		res2 = " + residual 2"
+	}
+	row("conv4 (3x3x3)", fmt.Sprintf("%d -> %d filters, ReLU%s", m.Cfg.ConvFilters2, m.Cfg.ConvFilters2, res2), m.conv4.Params())
+	fmt.Fprintf(&b, "  %-22s %-38s\n", "maxpool 2x + flatten", fmt.Sprintf("grid %d -> %d", g/2, g/4))
+	bn := ""
+	if m.bn != nil {
+		bn = ", batch norm"
+	}
+	row("fc1", fmt.Sprintf("dense -> %d, ReLU, dropout %.3g%s", m.Cfg.DenseNodes, m.Cfg.Dropout1, bn), m.fc1.Params())
+	row("fc2 (latent)", fmt.Sprintf("dense -> %d, ReLU, dropout %.3g", m.LatentWidth(), m.Cfg.Dropout2), m.fc2.Params())
+	row("out", "dense -> 1 (pK)", m.out.Params())
+	fmt.Fprintf(&b, "  total: %d trainable parameters\n", countParams(m.Params()))
+	return b.String()
+}
+
+// Summary renders the SG-CNN head layer by layer.
+func (m *SGCNN) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SG-CNN head (PotentialNet stages over the complex graph):\n")
+	row := func(name, desc string, ps []*nn.Param) {
+		fmt.Fprintf(&b, "  %-22s %-38s %8d params\n", name, desc, countParams(ps))
+	}
+	row("project", fmt.Sprintf("node features -> %d", m.Cfg.CovGatherWidth), m.proj.Params())
+	row("gated conv (cov)", fmt.Sprintf("K=%d, threshold %.2f A", m.Cfg.CovK, m.Cfg.Graph.CovThreshold), m.covConv.Params())
+	row("bridge", fmt.Sprintf("%d -> %d", m.Cfg.CovGatherWidth, m.Cfg.NonCovGatherWidth), m.bridge.Params())
+	row("gated conv (noncov)", fmt.Sprintf("K=%d, threshold %.2f A", m.Cfg.NonCovK, m.Cfg.Graph.NonCovThreshold), m.ncConv.Params())
+	row("gather (latent)", fmt.Sprintf("ligand-node pool -> %d", m.LatentWidth()), m.gather.Params())
+	row("d1", "dense (gather width / 1.5), ReLU", m.d1.Params())
+	row("d2", "dense (then / 2), ReLU", m.d2.Params())
+	row("out", "dense -> 1 (pK)", m.out.Params())
+	fmt.Fprintf(&b, "  total: %d trainable parameters\n", countParams(m.Params()))
+	return b.String()
+}
+
+// Summary renders the full fusion model: both heads plus the fusion
+// block, mirroring Figure 1 of the paper.
+func (f *Fusion) Summary() string {
+	var b strings.Builder
+	kind := "Mid-level Fusion (frozen heads)"
+	if f.Cfg.Coherent {
+		kind = "Coherent Fusion (backprop through both heads)"
+	}
+	fmt.Fprintf(&b, "%s\n\n", kind)
+	b.WriteString(f.CNN.Summary())
+	b.WriteString("\n")
+	b.WriteString(f.SG.Summary())
+	fmt.Fprintf(&b, "\nFusion block (%s activation):\n", f.Cfg.Activation)
+	row := func(name, desc string, ps []*nn.Param) {
+		fmt.Fprintf(&b, "  %-22s %-38s %8d params\n", name, desc, countParams(ps))
+	}
+	if f.Cfg.ModelSpecific {
+		row("model-specific CNN", fmt.Sprintf("%d -> %d", f.cnnLatW, f.msW), f.msCNN.Params())
+		row("model-specific SG", fmt.Sprintf("%d -> %d", f.sgLatW, f.msW), f.msSG.Params())
+	}
+	fmt.Fprintf(&b, "  %-22s %-38s\n", "concat", fmt.Sprintf("latent widths -> %d", f.concatWidth))
+	for i, l := range f.layers {
+		res := ""
+		if f.Cfg.ResidualFusion && i > 0 {
+			res = ", residual"
+		}
+		row(fmt.Sprintf("fusion %d", i+1), fmt.Sprintf("dense -> %d%s", f.Cfg.DenseNodes, res), l.Params())
+	}
+	row("out", "dense -> 1 (pK)", f.out.Params())
+	total := countParams(f.FusionParams()) + countParams(f.CNN.Params()) + countParams(f.SG.Params())
+	fmt.Fprintf(&b, "  total (full model): %d parameters (%d trainable in this mode)\n",
+		total, countParams(f.Params()))
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package fusion
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCNN3DSummaryCountsMatchParams(t *testing.T) {
+	m := NewCNN3D(tinyCNNConfig(), 1)
+	s := m.Summary()
+	want := fmt.Sprintf("total: %d trainable parameters", countParams(m.Params()))
+	if !strings.Contains(s, want) {
+		t.Fatalf("summary total mismatch; want %q in:\n%s", want, s)
+	}
+	for _, layer := range []string{"conv1 (5x5x5)", "conv2 (3x3x3)", "fc1", "fc2 (latent)", "out"} {
+		if !strings.Contains(s, layer) {
+			t.Errorf("summary missing layer %q", layer)
+		}
+	}
+}
+
+func TestSGCNNSummaryCountsMatchParams(t *testing.T) {
+	m := NewSGCNN(tinySGConfig(), 2)
+	s := m.Summary()
+	want := fmt.Sprintf("total: %d trainable parameters", countParams(m.Params()))
+	if !strings.Contains(s, want) {
+		t.Fatalf("summary total mismatch; want %q in:\n%s", want, s)
+	}
+	for _, layer := range []string{"project", "gated conv (cov)", "gated conv (noncov)", "gather (latent)"} {
+		if !strings.Contains(s, layer) {
+			t.Errorf("summary missing layer %q", layer)
+		}
+	}
+}
+
+func TestFusionSummaryModes(t *testing.T) {
+	cnn := NewCNN3D(tinyCNNConfig(), 3)
+	sg := NewSGCNN(tinySGConfig(), 4)
+
+	mid := NewFusion(DefaultMidFusionConfig(), cnn, sg, 5)
+	midSum := mid.Summary()
+	if !strings.Contains(midSum, "Mid-level Fusion (frozen heads)") {
+		t.Errorf("mid-level summary lacks mode line:\n%s", midSum)
+	}
+
+	coh := NewFusion(DefaultCoherentConfig(), cnn, sg, 6)
+	cohSum := coh.Summary()
+	if !strings.Contains(cohSum, "Coherent Fusion (backprop through both heads)") {
+		t.Errorf("coherent summary lacks mode line:\n%s", cohSum)
+	}
+
+	// The trainable count differs by exactly the heads' parameters.
+	headParams := countParams(cnn.Params()) + countParams(sg.Params())
+	midTrainable := countParams(mid.Params())
+	cohTrainable := countParams(coh.Params())
+	wantGap := headParams
+	// The two configs may differ in fusion-layer hyper-parameters, so
+	// compare against each model's own FusionParams instead.
+	if cohTrainable-countParams(coh.FusionParams()) != wantGap {
+		t.Errorf("coherent trainable params should exceed its fusion block by the heads (%d), got %d",
+			wantGap, cohTrainable-countParams(coh.FusionParams()))
+	}
+	if midTrainable != countParams(mid.FusionParams()) {
+		t.Errorf("mid-level trainable params (%d) should equal its fusion block (%d)",
+			midTrainable, countParams(mid.FusionParams()))
+	}
+
+	// Both render the paper's three blocks.
+	for _, block := range []string{"3D-CNN head", "SG-CNN head", "Fusion block"} {
+		if !strings.Contains(cohSum, block) {
+			t.Errorf("summary missing %q block", block)
+		}
+	}
+}
+
+func TestFusionSummaryModelSpecificLayers(t *testing.T) {
+	cnn := NewCNN3D(tinyCNNConfig(), 7)
+	sg := NewSGCNN(tinySGConfig(), 8)
+	cfg := DefaultMidFusionConfig()
+	cfg.ModelSpecific = true
+	f := NewFusion(cfg, cnn, sg, 9)
+	s := f.Summary()
+	if !strings.Contains(s, "model-specific CNN") || !strings.Contains(s, "model-specific SG") {
+		t.Fatalf("ModelSpecific summary should list both optional dense layers:\n%s", s)
+	}
+}

@@ -1,0 +1,340 @@
+// Package graph implements the spatial graph convolution building
+// blocks of the SG-CNN: a gated graph convolution stage (in the style
+// of Gated Graph Sequence Neural Networks / PotentialNet) and the
+// gated gather pooling that reduces ligand-node embeddings to a fixed
+// graph feature vector. Both implement explicit reverse-mode
+// backpropagation compatible with the nn package's Param/Optimizer
+// machinery.
+package graph
+
+import (
+	"math"
+	"math/rand"
+
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/nn"
+	"deepfusion/internal/tensor"
+)
+
+// GGConv is one gated graph convolution stage of width H run for K
+// message-passing steps over a fixed edge type (covalent or
+// non-covalent). The update is a coupled-gate GRU:
+//
+//	m  = A_norm (h Wmsg)
+//	z  = sigmoid(m Uz + h Wz + bz)
+//	ht = tanh   (m Uh + h Wh + bh)
+//	h' = (1-z) .* h + z .* ht
+//
+// where A_norm averages incoming messages.
+type GGConv struct {
+	H, K int
+
+	Wmsg, Uz, Wz, Uh, Wh *nn.Param // [H, H]
+	Bz, Bh               *nn.Param // [H]
+
+	steps []ggStep
+	edges []featurize.Edge
+	inDeg []float64
+}
+
+type ggStep struct {
+	hIn, hw, m, z, ht *tensor.Tensor
+}
+
+// NewGGConv constructs a gated graph convolution of width h with k
+// message-passing steps.
+func NewGGConv(rng *rand.Rand, h, k int) *GGConv {
+	g := &GGConv{
+		H: h, K: k,
+		Wmsg: nn.NewParam("gg.wmsg", h, h),
+		Uz:   nn.NewParam("gg.uz", h, h),
+		Wz:   nn.NewParam("gg.wz", h, h),
+		Uh:   nn.NewParam("gg.uh", h, h),
+		Wh:   nn.NewParam("gg.wh", h, h),
+		Bz:   nn.NewParam("gg.bz", h),
+		Bh:   nn.NewParam("gg.bh", h),
+	}
+	for _, p := range []*nn.Param{g.Wmsg, g.Uz, g.Wz, g.Uh, g.Wh} {
+		nn.GlorotInit(rng, p, h, h)
+	}
+	return g
+}
+
+// Params returns the trainable parameters.
+func (g *GGConv) Params() []*nn.Param {
+	return []*nn.Param{g.Wmsg, g.Uz, g.Wz, g.Uh, g.Wh, g.Bz, g.Bh}
+}
+
+// Forward runs K gated message-passing steps of h ([N, H]) over edges.
+func (g *GGConv) Forward(h *tensor.Tensor, edges []featurize.Edge) *tensor.Tensor {
+	n := h.Dim(0)
+	g.edges = edges
+	g.inDeg = make([]float64, n)
+	for _, e := range edges {
+		g.inDeg[e.To]++
+	}
+	g.steps = g.steps[:0]
+	for step := 0; step < g.K; step++ {
+		hw := tensor.MatMulTransB(h, g.Wmsg.Value) // [N, H]
+		m := tensor.New(n, g.H)
+		for _, e := range edges {
+			src := hw.Row(e.From)
+			dst := m.Row(e.To)
+			inv := 1 / g.inDeg[e.To]
+			for j, v := range src {
+				dst[j] += v * inv
+			}
+		}
+		zpre := tensor.MatMulTransB(m, g.Uz.Value)
+		zpre.AddInPlace(tensor.MatMulTransB(h, g.Wz.Value))
+		htpre := tensor.MatMulTransB(m, g.Uh.Value)
+		htpre.AddInPlace(tensor.MatMulTransB(h, g.Wh.Value))
+		for i := 0; i < n; i++ {
+			zr, hr := zpre.Row(i), htpre.Row(i)
+			for j := 0; j < g.H; j++ {
+				zr[j] = sigmoid(zr[j] + g.Bz.Value.Data[j])
+				hr[j] = tanh(hr[j] + g.Bh.Value.Data[j])
+			}
+		}
+		z, ht := zpre, htpre // now activated in place
+		hOut := tensor.New(n, g.H)
+		for i := range hOut.Data {
+			hOut.Data[i] = (1-z.Data[i])*h.Data[i] + z.Data[i]*ht.Data[i]
+		}
+		g.steps = append(g.steps, ggStep{hIn: h, hw: hw, m: m, z: z, ht: ht})
+		h = hOut
+	}
+	return h
+}
+
+// Backward propagates grad ([N, H], gradient w.r.t. the output of
+// Forward) through all K steps, accumulating parameter gradients, and
+// returns the gradient w.r.t. the input node features.
+func (g *GGConv) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for step := len(g.steps) - 1; step >= 0; step-- {
+		st := g.steps[step]
+		n := st.hIn.Dim(0)
+		dz := tensor.New(n, g.H)
+		dht := tensor.New(n, g.H)
+		dh := tensor.New(n, g.H) // grad into h (input of this step)
+		for i := range grad.Data {
+			dz.Data[i] = grad.Data[i] * (st.ht.Data[i] - st.hIn.Data[i])
+			dht.Data[i] = grad.Data[i] * st.z.Data[i]
+			dh.Data[i] = grad.Data[i] * (1 - st.z.Data[i])
+		}
+		// Through the activations.
+		for i := range dz.Data {
+			z := st.z.Data[i]
+			dz.Data[i] *= z * (1 - z)
+			ht := st.ht.Data[i]
+			dht.Data[i] *= 1 - ht*ht
+		}
+		// Bias gradients.
+		for i := 0; i < n; i++ {
+			zr, hr := dz.Row(i), dht.Row(i)
+			for j := 0; j < g.H; j++ {
+				g.Bz.Grad.Data[j] += zr[j]
+				g.Bh.Grad.Data[j] += hr[j]
+			}
+		}
+		// zpre = m Uz^T + h Wz^T ; htpre = m Uh^T + h Wh^T
+		g.Uz.Grad.AddInPlace(tensor.MatMulTransA(dz, st.m))
+		g.Wz.Grad.AddInPlace(tensor.MatMulTransA(dz, st.hIn))
+		g.Uh.Grad.AddInPlace(tensor.MatMulTransA(dht, st.m))
+		g.Wh.Grad.AddInPlace(tensor.MatMulTransA(dht, st.hIn))
+		dm := tensor.MatMul(dz, g.Uz.Value)
+		dm.AddInPlace(tensor.MatMul(dht, g.Uh.Value))
+		dh.AddInPlace(tensor.MatMul(dz, g.Wz.Value))
+		dh.AddInPlace(tensor.MatMul(dht, g.Wh.Value))
+		// m = A_norm (h Wmsg^T): scatter transpose.
+		dhw := tensor.New(n, g.H)
+		for _, e := range g.edges {
+			src := dm.Row(e.To)
+			dst := dhw.Row(e.From)
+			inv := 1 / g.inDeg[e.To]
+			for j, v := range src {
+				dst[j] += v * inv
+			}
+		}
+		g.Wmsg.Grad.AddInPlace(tensor.MatMulTransA(dhw, st.hIn))
+		dh.AddInPlace(tensor.MatMul(dhw, g.Wmsg.Value))
+		grad = dh
+	}
+	return grad
+}
+
+// Gather is the PotentialNet-style gated pooling over ligand nodes:
+//
+//	gate_i = sigmoid([h_i, x_i] Wg + bg)
+//	out    = sum_{i < numLigand} gate_i .* tanh(h_i Wo + bo)
+//
+// producing a fixed-width graph embedding from variable-size graphs.
+type Gather struct {
+	HIn, XIn, Out int
+
+	Wg *nn.Param // [Out, HIn+XIn]
+	Bg *nn.Param // [Out]
+	Wo *nn.Param // [Out, HIn]
+	Bo *nn.Param // [Out]
+
+	lastH, lastX       *tensor.Tensor
+	lastGate, lastTanh *tensor.Tensor
+	lastNumLigand      int
+}
+
+// NewGather constructs a gather stage reducing [N, hIn] node embeddings
+// (with [N, xIn] raw features) to a [1, out] graph vector.
+func NewGather(rng *rand.Rand, hIn, xIn, out int) *Gather {
+	ga := &Gather{
+		HIn: hIn, XIn: xIn, Out: out,
+		Wg: nn.NewParam("gather.wg", out, hIn+xIn),
+		Bg: nn.NewParam("gather.bg", out),
+		Wo: nn.NewParam("gather.wo", out, hIn),
+		Bo: nn.NewParam("gather.bo", out),
+	}
+	nn.GlorotInit(rng, ga.Wg, hIn+xIn, out)
+	nn.GlorotInit(rng, ga.Wo, hIn, out)
+	return ga
+}
+
+// Params returns the trainable parameters.
+func (ga *Gather) Params() []*nn.Param {
+	return []*nn.Param{ga.Wg, ga.Bg, ga.Wo, ga.Bo}
+}
+
+// Forward pools the first numLigand rows of h (raw features x aligned
+// row-wise) into a [1, Out] graph embedding.
+func (ga *Gather) Forward(h, x *tensor.Tensor, numLigand int) *tensor.Tensor {
+	ga.lastH, ga.lastX, ga.lastNumLigand = h, x, numLigand
+	hx := tensor.New(numLigand, ga.HIn+ga.XIn)
+	for i := 0; i < numLigand; i++ {
+		copy(hx.Row(i)[:ga.HIn], h.Row(i))
+		copy(hx.Row(i)[ga.HIn:], x.Row(i))
+	}
+	gate := tensor.MatMulTransB(hx, ga.Wg.Value)
+	hl := tensor.New(numLigand, ga.HIn)
+	for i := 0; i < numLigand; i++ {
+		copy(hl.Row(i), h.Row(i))
+	}
+	th := tensor.MatMulTransB(hl, ga.Wo.Value)
+	out := tensor.New(1, ga.Out)
+	for i := 0; i < numLigand; i++ {
+		gr, tr := gate.Row(i), th.Row(i)
+		for j := 0; j < ga.Out; j++ {
+			gr[j] = sigmoid(gr[j] + ga.Bg.Value.Data[j])
+			tr[j] = tanh(tr[j] + ga.Bo.Value.Data[j])
+			out.Data[j] += gr[j] * tr[j]
+		}
+	}
+	ga.lastGate, ga.lastTanh = gate, th
+	return out
+}
+
+// Backward propagates grad ([1, Out]) to the node embeddings,
+// returning d(h) of shape [N, HIn] (zero rows for protein nodes).
+func (ga *Gather) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	nl := ga.lastNumLigand
+	dgate := tensor.New(nl, ga.Out)
+	dtanh := tensor.New(nl, ga.Out)
+	for i := 0; i < nl; i++ {
+		gr, tr := ga.lastGate.Row(i), ga.lastTanh.Row(i)
+		dgr, dtr := dgate.Row(i), dtanh.Row(i)
+		for j := 0; j < ga.Out; j++ {
+			gv := grad.Data[j]
+			dgr[j] = gv * tr[j] * gr[j] * (1 - gr[j])
+			dtr[j] = gv * gr[j] * (1 - tr[j]*tr[j])
+			ga.Bg.Grad.Data[j] += dgr[j]
+			ga.Bo.Grad.Data[j] += dtr[j]
+		}
+	}
+	hx := tensor.New(nl, ga.HIn+ga.XIn)
+	hl := tensor.New(nl, ga.HIn)
+	for i := 0; i < nl; i++ {
+		copy(hx.Row(i)[:ga.HIn], ga.lastH.Row(i))
+		copy(hx.Row(i)[ga.HIn:], ga.lastX.Row(i))
+		copy(hl.Row(i), ga.lastH.Row(i))
+	}
+	ga.Wg.Grad.AddInPlace(tensor.MatMulTransA(dgate, hx))
+	ga.Wo.Grad.AddInPlace(tensor.MatMulTransA(dtanh, hl))
+	dhx := tensor.MatMul(dgate, ga.Wg.Value) // [nl, HIn+XIn]
+	dhl := tensor.MatMul(dtanh, ga.Wo.Value) // [nl, HIn]
+	dh := tensor.New(ga.lastH.Shape...)
+	for i := 0; i < nl; i++ {
+		dst := dh.Row(i)
+		a, b := dhx.Row(i), dhl.Row(i)
+		for j := 0; j < ga.HIn; j++ {
+			dst[j] = a[j] + b[j]
+		}
+	}
+	return dh
+}
+
+// Project is a per-node linear projection [N, In] -> [N, Out] used to
+// lift raw node features into the hidden width and to bridge stages of
+// different widths.
+type Project struct {
+	In, Out int
+	W       *nn.Param
+	B       *nn.Param
+
+	lastX *tensor.Tensor
+}
+
+// NewProject constructs the projection.
+func NewProject(rng *rand.Rand, in, out int) *Project {
+	p := &Project{In: in, Out: out, W: nn.NewParam("proj.w", out, in), B: nn.NewParam("proj.b", out)}
+	nn.GlorotInit(rng, p.W, in, out)
+	return p
+}
+
+// Params returns the trainable parameters.
+func (p *Project) Params() []*nn.Param { return []*nn.Param{p.W, p.B} }
+
+// Forward applies the projection.
+func (p *Project) Forward(x *tensor.Tensor) *tensor.Tensor {
+	p.lastX = x
+	out := tensor.MatMulTransB(x, p.W.Value)
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += p.B.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients and returns d(x).
+func (p *Project) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	p.W.Grad.AddInPlace(tensor.MatMulTransA(grad, p.lastX))
+	n := grad.Dim(0)
+	for i := 0; i < n; i++ {
+		row := grad.Row(i)
+		for j, v := range row {
+			p.B.Grad.Data[j] += v
+		}
+	}
+	return tensor.MatMul(grad, p.W.Value)
+}
+
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		e := exp(-v)
+		return 1 / (1 + e)
+	}
+	e := exp(v)
+	return e / (1 + e)
+}
+
+func tanh(v float64) float64 {
+	if v > 20 {
+		return 1
+	}
+	if v < -20 {
+		return -1
+	}
+	e2 := exp(2 * v)
+	return (e2 - 1) / (e2 + 1)
+}
+
+func exp(v float64) float64 { return math.Exp(v) }

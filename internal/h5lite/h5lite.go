@@ -1,0 +1,320 @@
+// Package h5lite implements a minimal hierarchical binary container in
+// the spirit of HDF5: named groups containing named datasets of
+// float64 vectors or string vectors. The screening pipeline writes its
+// predictions in this format, mirroring the paper's HDF5 output that
+// was designed to match ConveyorLC's CDT3Docking layout so existing
+// downstream tools could read Fusion scores.
+package h5lite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// File is an in-memory hierarchical container.
+type File struct {
+	root *Group
+}
+
+// Group is a node holding datasets and child groups.
+type Group struct {
+	name     string
+	children map[string]*Group
+	floats   map[string][]float64
+	strings  map[string][]string
+}
+
+// New creates an empty container.
+func New() *File {
+	return &File{root: newGroup("/")}
+}
+
+func newGroup(name string) *Group {
+	return &Group{
+		name:     name,
+		children: map[string]*Group{},
+		floats:   map[string][]float64{},
+		strings:  map[string][]string{},
+	}
+}
+
+// Root returns the root group.
+func (f *File) Root() *Group { return f.root }
+
+// Group returns (creating if needed) the child group with the given
+// name.
+func (g *Group) Group(name string) *Group {
+	if c, ok := g.children[name]; ok {
+		return c
+	}
+	c := newGroup(name)
+	g.children[name] = c
+	return c
+}
+
+// Lookup walks a /-separated path from this group, returning nil when
+// any component is missing.
+func (g *Group) Lookup(path ...string) *Group {
+	cur := g
+	for _, p := range path {
+		next, ok := cur.children[p]
+		if !ok {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Name returns the group's name.
+func (g *Group) Name() string { return g.name }
+
+// Children returns child group names in sorted order.
+func (g *Group) Children() []string {
+	var out []string
+	for k := range g.children {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetFloats stores a float64 dataset.
+func (g *Group) SetFloats(name string, v []float64) {
+	g.floats[name] = append([]float64(nil), v...)
+}
+
+// Floats returns a float64 dataset and whether it exists.
+func (g *Group) Floats(name string) ([]float64, bool) {
+	v, ok := g.floats[name]
+	return v, ok
+}
+
+// SetStrings stores a string dataset.
+func (g *Group) SetStrings(name string, v []string) {
+	g.strings[name] = append([]string(nil), v...)
+}
+
+// Strings returns a string dataset and whether it exists.
+func (g *Group) Strings(name string) ([]string, bool) {
+	v, ok := g.strings[name]
+	return v, ok
+}
+
+// FloatNames lists float dataset names in sorted order.
+func (g *Group) FloatNames() []string {
+	var out []string
+	for k := range g.floats {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StringNames lists string dataset names in sorted order.
+func (g *Group) StringNames() []string {
+	var out []string
+	for k := range g.strings {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var magic = [8]byte{'H', '5', 'L', 'I', 'T', 'E', '0', '1'}
+
+// Record type tags in the serialized stream.
+const (
+	tagGroupStart = byte(1)
+	tagGroupEnd   = byte(2)
+	tagFloats     = byte(3)
+	tagStrings    = byte(4)
+)
+
+// Write serializes the container.
+func (f *File) Write(w io.Writer) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	return writeGroup(w, f.root)
+}
+
+func writeGroup(w io.Writer, g *Group) error {
+	if err := writeByte(w, tagGroupStart); err != nil {
+		return err
+	}
+	if err := writeString(w, g.name); err != nil {
+		return err
+	}
+	for _, name := range g.FloatNames() {
+		if err := writeByte(w, tagFloats); err != nil {
+			return err
+		}
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		v := g.floats[name]
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(v))); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(v))
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, name := range g.StringNames() {
+		if err := writeByte(w, tagStrings); err != nil {
+			return err
+		}
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		v := g.strings[name]
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(v))); err != nil {
+			return err
+		}
+		for _, s := range v {
+			if err := writeString(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range g.Children() {
+		if err := writeGroup(w, g.children[name]); err != nil {
+			return err
+		}
+	}
+	return writeByte(w, tagGroupEnd)
+}
+
+// Read deserializes a container written by Write.
+func Read(r io.Reader) (*File, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, errors.New("h5lite: bad magic")
+	}
+	tag, err := readByte(r)
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagGroupStart {
+		return nil, errors.New("h5lite: missing root group")
+	}
+	root, err := readGroup(r)
+	if err != nil {
+		return nil, err
+	}
+	return &File{root: root}, nil
+}
+
+func readGroup(r io.Reader) (*Group, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	g := newGroup(name)
+	for {
+		tag, err := readByte(r)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagGroupEnd:
+			return g, nil
+		case tagGroupStart:
+			child, err := readGroup(r)
+			if err != nil {
+				return nil, err
+			}
+			g.children[child.name] = child
+		case tagFloats:
+			dname, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			var n uint64
+			if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+				return nil, err
+			}
+			if n > 1<<32 {
+				return nil, fmt.Errorf("h5lite: implausible dataset length %d", n)
+			}
+			buf := make([]byte, 8*n)
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+			g.floats[dname] = v
+		case tagStrings:
+			dname, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			var n uint64
+			if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+				return nil, err
+			}
+			if n > 1<<32 {
+				return nil, fmt.Errorf("h5lite: implausible dataset length %d", n)
+			}
+			v := make([]string, n)
+			for i := range v {
+				s, err := readString(r)
+				if err != nil {
+					return nil, err
+				}
+				v[i] = s
+			}
+			g.strings[dname] = v
+		default:
+			return nil, fmt.Errorf("h5lite: unknown record tag %d", tag)
+		}
+	}
+}
+
+func writeByte(w io.Writer, b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func readByte(r io.Reader) (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(r, b[:])
+	return b[0], err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("h5lite: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,217 @@
+package h5lite
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := New()
+	g := f.Root().Group("dock").Group("protease1")
+	g.SetFloats("scores", []float64{-7.2, -6.5, math.Pi})
+	g.SetStrings("ids", []string{"zinc:1", "zinc:2", "zinc:3"})
+	f.Root().Group("meta").SetStrings("targets", []string{"protease1"})
+
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := back.Root().Lookup("dock", "protease1")
+	if g2 == nil {
+		t.Fatal("nested group lost")
+	}
+	scores, ok := g2.Floats("scores")
+	if !ok || len(scores) != 3 || scores[2] != math.Pi {
+		t.Fatalf("scores = %v", scores)
+	}
+	ids, ok := g2.Strings("ids")
+	if !ok || ids[1] != "zinc:2" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f := New()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Root().Children()) != 0 {
+		t.Fatal("empty file has children")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTMAGIC..."))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	f := New()
+	f.Root().Group("a").SetFloats("x", []float64{1, 2, 3})
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{9, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestGroupIdempotent(t *testing.T) {
+	f := New()
+	a := f.Root().Group("g")
+	b := f.Root().Group("g")
+	if a != b {
+		t.Fatal("Group must return the existing child")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	f := New()
+	if f.Root().Lookup("nope") != nil {
+		t.Fatal("missing lookup must be nil")
+	}
+	if f.Root().Lookup() != f.Root() {
+		t.Fatal("empty lookup must return the group itself")
+	}
+}
+
+func TestSetCopiesData(t *testing.T) {
+	f := New()
+	v := []float64{1, 2}
+	f.Root().SetFloats("x", v)
+	v[0] = 99
+	got, _ := f.Root().Floats("x")
+	if got[0] != 1 {
+		t.Fatal("SetFloats must copy")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	f := New()
+	f.Root().SetFloats("b", nil)
+	f.Root().SetFloats("a", nil)
+	names := f.Root().FloatNames()
+	if names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	f.Root().Group("z")
+	f.Root().Group("y")
+	ch := f.Root().Children()
+	if ch[0] != "y" {
+		t.Fatalf("children = %v", ch)
+	}
+}
+
+// Property: arbitrary float vectors survive the round trip bit-exact.
+func TestRoundTripProperty(t *testing.T) {
+	fn := func(vals []float64, names []string) bool {
+		f := New()
+		g := f.Root().Group("g")
+		g.SetFloats("v", vals)
+		// sanitize names into a string dataset
+		strs := make([]string, len(names))
+		copy(strs, names)
+		g.SetStrings("s", strs)
+		var buf bytes.Buffer
+		if err := f.Write(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		got, _ := back.Root().Lookup("g").Floats("v")
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		gs, _ := back.Root().Lookup("g").Strings("s")
+		if len(gs) != len(strs) {
+			return false
+		}
+		for i := range strs {
+			if gs[i] != strs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	f := New()
+	g := f.Root()
+	for i := 0; i < 20; i++ {
+		g = g.Group("level")
+	}
+	g.SetFloats("x", []float64{42})
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := back.Root()
+	for i := 0; i < 20; i++ {
+		cur = cur.Lookup("level")
+		if cur == nil {
+			t.Fatalf("lost nesting at depth %d", i)
+		}
+	}
+	v, ok := cur.Floats("x")
+	if !ok || v[0] != 42 {
+		t.Fatal("deep dataset lost")
+	}
+}
+
+func TestOverwriteDataset(t *testing.T) {
+	f := New()
+	f.Root().SetFloats("x", []float64{1})
+	f.Root().SetFloats("x", []float64{2, 3})
+	v, _ := f.Root().Floats("x")
+	if len(v) != 2 || v[0] != 2 {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestUnicodeStrings(t *testing.T) {
+	f := New()
+	f.Root().SetStrings("s", []string{"molécule", "化合物", ""})
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := back.Root().Strings("s")
+	if s[0] != "molécule" || s[1] != "化合物" || s[2] != "" {
+		t.Fatalf("unicode strings corrupted: %v", s)
+	}
+}

@@ -1,0 +1,160 @@
+package hpo
+
+import (
+	"fmt"
+	"math"
+)
+
+// tvGP is the time-varying Gaussian process of PB2: a squared-
+// exponential kernel over normalized hyper-parameter vectors
+// multiplied by a geometric decay over the time (epoch) distance, so
+// stale observations lose influence — the bandit treats the reward
+// surface as a time-varying function.
+type tvGP struct {
+	lengthscale float64
+	timeDecay   float64 // per unit time-distance factor in (0,1]
+	noise       float64
+
+	xs   [][]float64
+	ts   []float64
+	ys   []float64
+	kInv [][]float64
+	mean float64
+}
+
+func newTVGP() *tvGP {
+	return &tvGP{lengthscale: 0.35, timeDecay: 0.9, noise: 1e-3}
+}
+
+func (g *tvGP) kernel(x1 []float64, t1 float64, x2 []float64, t2 float64) float64 {
+	d2 := 0.0
+	for i := range x1 {
+		d := x1[i] - x2[i]
+		d2 += d * d
+	}
+	se := math.Exp(-d2 / (2 * g.lengthscale * g.lengthscale))
+	tv := math.Pow(g.timeDecay, math.Abs(t1-t2))
+	return se * tv
+}
+
+// Fit conditions the GP on observations (x_i, t_i) -> y_i.
+func (g *tvGP) Fit(xs [][]float64, ts, ys []float64) error {
+	if len(xs) != len(ts) || len(ts) != len(ys) {
+		return fmt.Errorf("hpo: GP observation lengths differ")
+	}
+	n := len(xs)
+	g.xs, g.ts = xs, ts
+	g.mean = 0
+	for _, y := range ys {
+		g.mean += y
+	}
+	if n > 0 {
+		g.mean /= float64(n)
+	}
+	g.ys = make([]float64, n)
+	for i, y := range ys {
+		g.ys[i] = y - g.mean
+	}
+	if n == 0 {
+		g.kInv = nil
+		return nil
+	}
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = g.kernel(xs[i], ts[i], xs[j], ts[j])
+		}
+		k[i][i] += g.noise
+	}
+	inv, err := invert(k)
+	if err != nil {
+		return err
+	}
+	g.kInv = inv
+	return nil
+}
+
+// Predict returns the posterior mean and variance at (x, t).
+func (g *tvGP) Predict(x []float64, t float64) (mu, sigma2 float64) {
+	n := len(g.xs)
+	if n == 0 {
+		return g.mean, 1
+	}
+	kv := make([]float64, n)
+	for i := range kv {
+		kv[i] = g.kernel(x, t, g.xs[i], g.ts[i])
+	}
+	// mu = k^T K^-1 y ; sigma2 = k(x,x) - k^T K^-1 k
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += g.kInv[i][j] * kv[j]
+		}
+		tmp[i] = s
+	}
+	mu = g.mean
+	for i := 0; i < n; i++ {
+		mu += tmp[i] * g.ys[i]
+	}
+	sigma2 = g.kernel(x, t, x, t)
+	for i := 0; i < n; i++ {
+		sigma2 -= kv[i] * tmp[i]
+	}
+	if sigma2 < 1e-12 {
+		sigma2 = 1e-12
+	}
+	return mu, sigma2
+}
+
+// UCB is the upper confidence bound acquisition value at (x, t).
+func (g *tvGP) UCB(x []float64, t, beta float64) float64 {
+	mu, s2 := g.Predict(x, t)
+	return mu + beta*math.Sqrt(s2)
+}
+
+// invert computes the inverse of a symmetric positive-definite matrix
+// via Gauss-Jordan with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(aug[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("hpo: singular kernel matrix at column %d", col)
+		}
+		aug[col], aug[p] = aug[p], aug[col]
+		inv := 1 / aug[col][col]
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = aug[i][n:]
+	}
+	return out, nil
+}

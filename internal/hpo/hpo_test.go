@@ -1,0 +1,327 @@
+package hpo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpaceSampleWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := FusionSpacePaper()
+	for i := 0; i < 100; i++ {
+		c := s.Sample(rng)
+		lr := c.Num["learning_rate"]
+		if lr < 1e-8 || lr > 1e-3 {
+			t.Fatalf("learning rate %v out of bounds", lr)
+		}
+		d1 := c.Num["dropout1"]
+		if d1 < 0 || d1 > 0.5 {
+			t.Fatalf("dropout1 %v out of bounds", d1)
+		}
+		if c.Strs["optimizer"] == "" {
+			t.Fatal("optimizer not sampled")
+		}
+		bn := c.Num["batch_norm"]
+		if bn != 0 && bn != 1 {
+			t.Fatalf("bool param = %v", bn)
+		}
+		found := false
+		for _, o := range []float64{1, 2, 4, 5, 8, 12, 16, 24, 28, 34, 38, 48, 56} {
+			if c.Num["batch_size"] == o {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("batch size %v not in Table 1 options", c.Num["batch_size"])
+		}
+	}
+}
+
+func TestVectorizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := SGCNNSpaceRepro()
+	c := s.Sample(rng)
+	v := s.vectorize(c)
+	for _, x := range v {
+		if x < 0 || x > 1 {
+			t.Fatalf("vectorized value %v outside [0,1]", x)
+		}
+	}
+	c2 := s.devectorize(c, v)
+	for _, p := range s.continuous() {
+		rel := math.Abs(c2.Num[p.Name]-c.Num[p.Name]) / math.Max(1e-12, math.Abs(c.Num[p.Name]))
+		if rel > 1e-9 {
+			t.Fatalf("%s round trip %v -> %v", p.Name, c.Num[p.Name], c2.Num[p.Name])
+		}
+	}
+}
+
+func TestDevectorizeClamps(t *testing.T) {
+	s := &Space{Params: []Param{{Name: "x", Kind: Uniform, Lo: 2, Hi: 4}}}
+	c := Config{Num: map[string]float64{"x": 3}, Strs: map[string]string{}}
+	out := s.devectorize(c, []float64{1.7})
+	if out.Num["x"] != 4 {
+		t.Fatalf("clamp failed: %v", out.Num["x"])
+	}
+}
+
+func TestConfigCloneIndependent(t *testing.T) {
+	c := Config{Num: map[string]float64{"a": 1}, Strs: map[string]string{"b": "x"}}
+	d := c.Clone()
+	d.Num["a"] = 2
+	d.Strs["b"] = "y"
+	if c.Num["a"] != 1 || c.Strs["b"] != "x" {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestGPFitsQuadratic(t *testing.T) {
+	// GP posterior mean should track a smooth function near data.
+	g := newTVGP()
+	var xs [][]float64
+	var ts, ys []float64
+	f := func(x float64) float64 { return -(x - 0.6) * (x - 0.6) }
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10
+		xs = append(xs, []float64{x})
+		ts = append(ts, 0)
+		ys = append(ys, f(x))
+	}
+	if err := g.Fit(xs, ts, ys); err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := g.Predict([]float64{0.55}, 0)
+	if math.Abs(mu-f(0.55)) > 0.05 {
+		t.Fatalf("GP mean %v, want ~%v", mu, f(0.55))
+	}
+	// Variance should be higher away from data than at data.
+	_, atData := g.Predict([]float64{0.5}, 0)
+	_, farAway := g.Predict([]float64{0.5}, 20) // distant in time
+	if farAway <= atData {
+		t.Fatalf("time-varying variance should grow with time distance: %v vs %v", farAway, atData)
+	}
+}
+
+func TestGPEmptyPredicts(t *testing.T) {
+	g := newTVGP()
+	if err := g.Fit(nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	mu, s2 := g.Predict([]float64{0.5}, 0)
+	if mu != 0 || s2 != 1 {
+		t.Fatalf("empty GP prior = %v/%v", mu, s2)
+	}
+}
+
+func TestGPMismatchedLengths(t *testing.T) {
+	g := newTVGP()
+	if err := g.Fit([][]float64{{1}}, []float64{0, 1}, []float64{0}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	a := [][]float64{{4, 1}, {1, 3}}
+	inv, err := invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A * A^-1 = I
+	id := [][]float64{
+		{4*inv[0][0] + 1*inv[1][0], 4*inv[0][1] + 1*inv[1][1]},
+		{1*inv[0][0] + 3*inv[1][0], 1*inv[0][1] + 3*inv[1][1]},
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(id[i][j]-want) > 1e-9 {
+				t.Fatalf("A*Ainv != I: %v", id)
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	if _, err := invert([][]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Fatal("singular matrix must error")
+	}
+}
+
+// PB2 on a synthetic objective: loss is minimized at lr*=0.01 on a log
+// scale; state carries cumulative training benefit so exploitation
+// matters.
+func TestPB2OptimizesSyntheticObjective(t *testing.T) {
+	space := &Space{Params: []Param{
+		{Name: "lr", Kind: LogUniform, Lo: 1e-5, Hi: 1e-1},
+		{Name: "width", Kind: Choice, Options: []float64{8, 16, 32}},
+	}}
+	obj := func(cfg Config, prev State, seed int64) (State, float64) {
+		progress := 0.0
+		if prev != nil {
+			progress = prev.(float64)
+		}
+		lr := cfg.Num["lr"]
+		quality := math.Abs(math.Log10(lr) - math.Log10(0.01)) // 0 is best
+		progress += 1.0
+		loss := 2.0*quality/progress + 0.5*quality
+		return progress, loss
+	}
+	o := Options{Population: 10, QuantileFraction: 0.5, Rounds: 6, UCBBeta: 1.0, Seed: 3}
+	res := Run(space, obj, o)
+	bestLR := res.Best.Config.Num["lr"]
+	if math.Abs(math.Log10(bestLR)-math.Log10(0.01)) > 1.0 {
+		t.Fatalf("PB2 best lr = %v, want within a decade of 0.01", bestLR)
+	}
+	// Population-best loss must improve across rounds.
+	first := math.Inf(1)
+	last := math.Inf(1)
+	for _, ob := range res.History {
+		if ob.Round == 0 && ob.Loss < first {
+			first = ob.Loss
+		}
+		if ob.Round == o.Rounds-1 && ob.Loss < last {
+			last = ob.Loss
+		}
+	}
+	if last >= first {
+		t.Fatalf("PB2 did not improve: round0 best %v, final best %v", first, last)
+	}
+}
+
+func TestPB2HistoryComplete(t *testing.T) {
+	space := &Space{Params: []Param{{Name: "x", Kind: Uniform, Lo: 0, Hi: 1}}}
+	obj := func(cfg Config, prev State, seed int64) (State, float64) {
+		return nil, cfg.Num["x"]
+	}
+	o := Options{Population: 4, QuantileFraction: 0.5, Rounds: 3, UCBBeta: 1, Seed: 4}
+	res := Run(space, obj, o)
+	if len(res.History) != 12 {
+		t.Fatalf("history has %d entries, want 12", len(res.History))
+	}
+	if len(res.Population) != 4 {
+		t.Fatalf("population %d", len(res.Population))
+	}
+	// Best must be the minimum observed final-round loss.
+	for _, tr := range res.Population {
+		if tr.Loss < res.Best.Loss {
+			t.Fatal("Best is not the population minimum")
+		}
+	}
+}
+
+func TestPB2ExploitsCopiesState(t *testing.T) {
+	// An objective where progress only accumulates; losers should
+	// inherit winners' progress rather than restarting.
+	space := &Space{Params: []Param{{Name: "x", Kind: Uniform, Lo: 0, Hi: 1}}}
+	obj := func(cfg Config, prev State, seed int64) (State, float64) {
+		p := 0.0
+		if prev != nil {
+			p = prev.(float64)
+		}
+		p += cfg.Num["x"] // progress faster with bigger x
+		return p, 10 - p
+	}
+	res := Run(space, obj, Options{Population: 6, QuantileFraction: 0.5, Rounds: 5, UCBBeta: 1, Seed: 5})
+	// After 5 rounds with exploitation the best progress should exceed
+	// what the best x alone could reach without inheritance (5 * max x
+	// with x<=1 gives 5; exploitation can only help reach closer to 5).
+	best := res.Best.State.(float64)
+	if best < 2.5 {
+		t.Fatalf("best progress %v; exploitation appears broken", best)
+	}
+}
+
+func TestTable1SpacesCoverPaperRows(t *testing.T) {
+	cnn := CNN3DSpacePaper()
+	sg := SGCNNSpacePaper()
+	fu := FusionSpacePaper()
+	if len(fu.Params) < 13 {
+		t.Fatalf("fusion space has %d rows", len(fu.Params))
+	}
+	// Spot-check paper values.
+	find := func(s *Space, name string) Param {
+		for _, p := range s.Params {
+			if p.Name == name {
+				return p
+			}
+		}
+		t.Fatalf("param %s missing", name)
+		return Param{}
+	}
+	if p := find(cnn, "learning_rate"); p.Lo != 1e-6 || p.Hi != 1e-4 {
+		t.Fatal("3D-CNN learning-rate range drifted from Table 1")
+	}
+	if p := find(sg, "learning_rate"); p.Lo != 2e-4 || p.Hi != 2e-2 {
+		t.Fatal("SG-CNN learning-rate range drifted from Table 1")
+	}
+	if p := find(fu, "learning_rate"); p.Lo != 1e-8 || p.Hi != 1e-3 {
+		t.Fatal("Fusion learning-rate range drifted from Table 1")
+	}
+	if p := find(fu, "optimizer"); len(p.Strings) != 4 {
+		t.Fatal("Fusion must offer 4 optimizers")
+	}
+	if p := find(sg, "cov_k"); len(p.Options) != 7 {
+		t.Fatal("K options must be 2..8")
+	}
+	if p := find(sg, "noncov_threshold"); p.Lo != 1.2 || p.Hi != 5.9 {
+		t.Fatal("neighbor threshold range drifted from Table 1")
+	}
+}
+
+func TestConfigStringDeterministic(t *testing.T) {
+	c := Config{Num: map[string]float64{"b": 2, "a": 1}, Strs: map[string]string{"z": "q"}}
+	if c.String() != c.String() {
+		t.Fatal("String must be deterministic")
+	}
+}
+
+func TestGPVarianceShrinksNearData(t *testing.T) {
+	g := newTVGP()
+	if err := g.Fit([][]float64{{0.5}}, []float64{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	_, near := g.Predict([]float64{0.5}, 0)
+	_, far := g.Predict([]float64{0.0}, 0)
+	if near >= far {
+		t.Fatalf("variance near data (%v) must be below far (%v)", near, far)
+	}
+}
+
+func TestUCBGrowsWithBeta(t *testing.T) {
+	g := newTVGP()
+	if err := g.Fit([][]float64{{0.2}, {0.8}}, []float64{0, 0}, []float64{0.5, -0.5}); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5}
+	if g.UCB(x, 0, 2) <= g.UCB(x, 0, 0.5) {
+		t.Fatal("larger beta must give larger UCB")
+	}
+}
+
+func TestPerturbVecStaysInUnitBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := []float64{0, 1, 0.5}
+	for i := 0; i < 200; i++ {
+		v := perturbVec(base, rng)
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				t.Fatalf("perturbed value %v outside [0,1]", x)
+			}
+		}
+	}
+}
+
+func TestPB2SingleRound(t *testing.T) {
+	space := &Space{Params: []Param{{Name: "x", Kind: Uniform, Lo: 0, Hi: 1}}}
+	obj := func(cfg Config, prev State, seed int64) (State, float64) {
+		return nil, cfg.Num["x"]
+	}
+	res := Run(space, obj, Options{Population: 3, QuantileFraction: 0.5, Rounds: 1, UCBBeta: 1, Seed: 8})
+	if len(res.History) != 3 {
+		t.Fatalf("single round history %d", len(res.History))
+	}
+}

@@ -1,0 +1,113 @@
+package hpo
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// RunPBT executes the original Population-Based Training loop
+// (Jaderberg et al. 2017) that PB2 improves on: identical
+// exploit step (losers clone a winner's state and config), but the
+// explore step perturbs continuous hyper-parameters with random
+// multiplicative noise instead of maximizing a time-varying GP-UCB.
+// It exists as the ablation baseline separating the value of PB2's
+// bandit model from the value of population training itself
+// (BenchmarkAblationPB2VsPBT).
+func RunPBT(space *Space, obj Objective, o Options) *Result {
+	rng := rand.New(rand.NewSource(o.Seed))
+	trials := make([]Trial, o.Population)
+	for i := range trials {
+		trials[i] = Trial{ID: i, Config: space.Sample(rng)}
+	}
+	res := &Result{}
+
+	for round := 0; round < o.Rounds; round++ {
+		for i := range trials {
+			st, loss := obj(trials[i].Config, trials[i].State, o.Seed+int64(round*1000+i))
+			trials[i].State = st
+			trials[i].Loss = loss
+			res.History = append(res.History, Observation{Round: round, TrialID: i, Config: trials[i].Config.Clone(), Loss: loss})
+		}
+		if round == o.Rounds-1 {
+			break
+		}
+		order := make([]int, len(trials))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return trials[order[a]].Loss < trials[order[b]].Loss })
+		nBottom := int(float64(len(trials)) * o.QuantileFraction)
+		if nBottom < 1 {
+			nBottom = 1
+		}
+		nTop := len(trials) - nBottom
+		if nTop < 1 {
+			nTop = 1
+		}
+		for bi := len(trials) - nBottom; bi < len(trials); bi++ {
+			loser := order[bi]
+			winner := order[rng.Intn(nTop)]
+			// Exploit: same as PB2.
+			trials[loser].State = trials[winner].State
+			trials[loser].Config = trials[winner].Config.Clone()
+			// Explore: random perturbation of the continuous subspace
+			// (PBT's 0.8x / 1.2x rule expressed in normalized space),
+			// plus the same categorical resampling as PB2.
+			if base := space.vectorize(trials[loser].Config); len(base) > 0 {
+				trials[loser].Config = space.devectorize(trials[loser].Config, perturbVec(base, rng))
+			}
+			explored := space.Sample(rng)
+			for _, p := range space.Params {
+				if p.Kind == Uniform || p.Kind == LogUniform {
+					continue
+				}
+				if rng.Float64() < 0.25 {
+					if len(p.Strings) > 0 {
+						trials[loser].Config.Strs[p.Name] = explored.Strs[p.Name]
+					} else {
+						trials[loser].Config.Num[p.Name] = explored.Num[p.Name]
+					}
+				}
+			}
+		}
+	}
+	best := trials[0]
+	for _, t := range trials[1:] {
+		if t.Loss < best.Loss {
+			best = t
+		}
+	}
+	res.Best = best
+	res.Population = trials
+	return res
+}
+
+// RunRandomSearch trains Population independently sampled
+// configurations for Rounds intervals each — the same training budget
+// as a PB2/PBT run but with no exploit or explore steps. It is the
+// non-population baseline of the ablation ladder (random < PBT < PB2).
+func RunRandomSearch(space *Space, obj Objective, o Options) *Result {
+	rng := rand.New(rand.NewSource(o.Seed))
+	res := &Result{}
+	trials := make([]Trial, o.Population)
+	for i := range trials {
+		trials[i] = Trial{ID: i, Config: space.Sample(rng)}
+	}
+	for round := 0; round < o.Rounds; round++ {
+		for i := range trials {
+			st, loss := obj(trials[i].Config, trials[i].State, o.Seed+int64(round*1000+i))
+			trials[i].State = st
+			trials[i].Loss = loss
+			res.History = append(res.History, Observation{Round: round, TrialID: i, Config: trials[i].Config.Clone(), Loss: loss})
+		}
+	}
+	best := trials[0]
+	for _, t := range trials[1:] {
+		if t.Loss < best.Loss {
+			best = t
+		}
+	}
+	res.Best = best
+	res.Population = trials
+	return res
+}

@@ -1,0 +1,145 @@
+// Package hpo implements the paper's distributed, genetic
+// hyper-parameter optimization: the Table 1 search spaces and the
+// Population-Based Bandits (PB2) algorithm — population training with
+// quantile-based exploitation and a time-varying Gaussian-process
+// bandit for the exploration step (Parker-Holder et al. 2020).
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind is the type of one hyper-parameter dimension.
+type Kind int
+
+// Hyper-parameter kinds (Table 1 column "range of values": binary,
+// a list of options, or uniformly sampled continuous variables).
+const (
+	Bool Kind = iota
+	Choice
+	Uniform
+	LogUniform
+)
+
+// Param is one dimension of a search space.
+type Param struct {
+	Name    string
+	Kind    Kind
+	Options []float64 // Choice: allowed values
+	Strings []string  // Choice over strings (optimizer, activation)
+	Lo, Hi  float64   // Uniform / LogUniform bounds
+}
+
+// Space is an ordered hyper-parameter search space.
+type Space struct {
+	Params []Param
+}
+
+// Config is one concrete assignment. Numeric values are float64;
+// string choices are stored under the same name in Strs.
+type Config struct {
+	Num  map[string]float64
+	Strs map[string]string
+}
+
+// Clone deep-copies the config.
+func (c Config) Clone() Config {
+	out := Config{Num: map[string]float64{}, Strs: map[string]string{}}
+	for k, v := range c.Num {
+		out.Num[k] = v
+	}
+	for k, v := range c.Strs {
+		out.Strs[k] = v
+	}
+	return out
+}
+
+// Sample draws a uniform random configuration.
+func (s *Space) Sample(rng *rand.Rand) Config {
+	c := Config{Num: map[string]float64{}, Strs: map[string]string{}}
+	for _, p := range s.Params {
+		switch p.Kind {
+		case Bool:
+			c.Num[p.Name] = float64(rng.Intn(2))
+		case Choice:
+			if len(p.Strings) > 0 {
+				c.Strs[p.Name] = p.Strings[rng.Intn(len(p.Strings))]
+			} else {
+				c.Num[p.Name] = p.Options[rng.Intn(len(p.Options))]
+			}
+		case Uniform:
+			c.Num[p.Name] = p.Lo + rng.Float64()*(p.Hi-p.Lo)
+		case LogUniform:
+			c.Num[p.Name] = math.Exp(math.Log(p.Lo) + rng.Float64()*(math.Log(p.Hi)-math.Log(p.Lo)))
+		}
+	}
+	return c
+}
+
+// continuous returns the ordered continuous (Uniform/LogUniform)
+// params — the subspace PB2's GP bandit optimizes.
+func (s *Space) continuous() []Param {
+	var out []Param
+	for _, p := range s.Params {
+		if p.Kind == Uniform || p.Kind == LogUniform {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// vectorize maps the continuous subspace of c to [0,1]^d.
+func (s *Space) vectorize(c Config) []float64 {
+	var v []float64
+	for _, p := range s.continuous() {
+		x := c.Num[p.Name]
+		switch p.Kind {
+		case Uniform:
+			v = append(v, (x-p.Lo)/(p.Hi-p.Lo))
+		case LogUniform:
+			v = append(v, (math.Log(x)-math.Log(p.Lo))/(math.Log(p.Hi)-math.Log(p.Lo)))
+		}
+	}
+	return v
+}
+
+// devectorize writes a [0,1]^d point back into the config's continuous
+// params, clamping to bounds.
+func (s *Space) devectorize(c Config, v []float64) Config {
+	out := c.Clone()
+	for i, p := range s.continuous() {
+		x := math.Max(0, math.Min(1, v[i]))
+		switch p.Kind {
+		case Uniform:
+			out.Num[p.Name] = p.Lo + x*(p.Hi-p.Lo)
+		case LogUniform:
+			out.Num[p.Name] = math.Exp(math.Log(p.Lo) + x*(math.Log(p.Hi)-math.Log(p.Lo)))
+		}
+	}
+	return out
+}
+
+// String renders the config deterministically (sorted keys).
+func (c Config) String() string {
+	var keys []string
+	for k := range c.Num {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%.4g ", k, c.Num[k])
+	}
+	var skeys []string
+	for k := range c.Strs {
+		skeys = append(skeys, k)
+	}
+	sort.Strings(skeys)
+	for _, k := range skeys {
+		out += fmt.Sprintf("%s=%s ", k, c.Strs[k])
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package hpo
+
+// Table 1 of the paper: the hyper-parameters and value ranges the PB2
+// optimization considered for each model. The paper-scale spaces are
+// reported verbatim for the Table 1 reproduction; the repro-scale
+// spaces shrink layer widths (not ranges of training dynamics) so
+// populations train on a CPU.
+
+// CNN3DSpacePaper is the 3D-CNN column of Table 1.
+func CNN3DSpacePaper() *Space {
+	return &Space{Params: []Param{
+		{Name: "optimizer", Kind: Choice, Strings: []string{"adam"}},
+		{Name: "activation", Kind: Choice, Strings: []string{"relu"}},
+		{Name: "batch_size", Kind: Choice, Options: []float64{8, 12, 24}},
+		{Name: "learning_rate", Kind: LogUniform, Lo: 1e-6, Hi: 1e-4},
+		{Name: "epochs", Kind: Uniform, Lo: 0, Hi: 150},
+		{Name: "batch_norm", Kind: Bool},
+		{Name: "dropout1", Kind: Choice, Options: []float64{0.25}},
+		{Name: "dropout2", Kind: Choice, Options: []float64{0.125}},
+		{Name: "dense_nodes", Kind: Choice, Options: []float64{40, 64, 88, 104, 128}},
+		{Name: "residual1", Kind: Bool},
+		{Name: "residual2", Kind: Bool},
+		{Name: "conv_filters1", Kind: Choice, Options: []float64{32, 64, 96}},
+		{Name: "conv_filters2", Kind: Choice, Options: []float64{64, 96, 128}},
+	}}
+}
+
+// SGCNNSpacePaper is the SG-CNN column of Table 1.
+func SGCNNSpacePaper() *Space {
+	return &Space{Params: []Param{
+		{Name: "optimizer", Kind: Choice, Strings: []string{"adam"}},
+		{Name: "activation", Kind: Choice, Strings: []string{"relu"}},
+		{Name: "batch_size", Kind: Choice, Options: []float64{4, 8, 12, 16}},
+		{Name: "learning_rate", Kind: LogUniform, Lo: 2e-4, Hi: 2e-2},
+		{Name: "epochs", Kind: Uniform, Lo: 0, Hi: 350},
+		{Name: "cov_k", Kind: Choice, Options: []float64{2, 3, 4, 5, 6, 7, 8}},
+		{Name: "noncov_k", Kind: Choice, Options: []float64{2, 3, 4, 5, 6, 7, 8}},
+		{Name: "cov_threshold", Kind: Uniform, Lo: 1.2, Hi: 5.9},
+		{Name: "noncov_threshold", Kind: Uniform, Lo: 1.2, Hi: 5.9},
+		{Name: "cov_gather_width", Kind: Choice, Options: []float64{8, 24, 40, 64, 88, 104, 128}},
+		{Name: "noncov_gather_width", Kind: Choice, Options: []float64{8, 24, 40, 64, 88, 104, 128}},
+	}}
+}
+
+// FusionSpacePaper is the Fusion column of Table 1.
+func FusionSpacePaper() *Space {
+	return &Space{Params: []Param{
+		{Name: "optimizer", Kind: Choice, Strings: []string{"adam", "adamw", "rmsprop", "adadelta"}},
+		{Name: "activation", Kind: Choice, Strings: []string{"relu", "lrelu", "selu"}},
+		{Name: "batch_size", Kind: Choice, Options: []float64{1, 2, 4, 5, 8, 12, 16, 24, 28, 34, 38, 48, 56}},
+		{Name: "learning_rate", Kind: LogUniform, Lo: 1e-8, Hi: 1e-3},
+		{Name: "epochs", Kind: Uniform, Lo: 0, Hi: 500},
+		{Name: "model_specific_layers", Kind: Bool},
+		{Name: "pretrained", Kind: Bool},
+		{Name: "batch_norm", Kind: Bool},
+		{Name: "dropout1", Kind: Uniform, Lo: 0, Hi: 0.50},
+		{Name: "dropout2", Kind: Uniform, Lo: 0, Hi: 0.25},
+		{Name: "dropout3", Kind: Uniform, Lo: 0, Hi: 0.125},
+		{Name: "num_fusion_layers", Kind: Choice, Options: []float64{3, 4, 5}},
+		{Name: "dense_nodes", Kind: Choice, Options: []float64{8, 24, 40, 64, 88, 104, 128}},
+		{Name: "residual_fusion", Kind: Bool},
+	}}
+}
+
+// SGCNNSpaceRepro is the repro-scale SG-CNN space: training dynamics
+// ranges preserved, widths shrunk ~4-8x, epoch budget shrunk to CPU
+// scale.
+func SGCNNSpaceRepro() *Space {
+	return &Space{Params: []Param{
+		{Name: "batch_size", Kind: Choice, Options: []float64{4, 8, 12, 16}},
+		{Name: "learning_rate", Kind: LogUniform, Lo: 2e-4, Hi: 2e-2},
+		{Name: "cov_k", Kind: Choice, Options: []float64{1, 2, 3}},
+		{Name: "noncov_k", Kind: Choice, Options: []float64{1, 2, 3}},
+		{Name: "cov_threshold", Kind: Uniform, Lo: 1.2, Hi: 5.9},
+		{Name: "noncov_threshold", Kind: Uniform, Lo: 1.2, Hi: 5.9},
+		{Name: "cov_gather_width", Kind: Choice, Options: []float64{4, 8, 12, 16}},
+		{Name: "noncov_gather_width", Kind: Choice, Options: []float64{8, 16, 24, 32}},
+	}}
+}
+
+// CNN3DSpaceRepro is the repro-scale 3D-CNN space.
+func CNN3DSpaceRepro() *Space {
+	return &Space{Params: []Param{
+		{Name: "batch_size", Kind: Choice, Options: []float64{8, 12, 24}},
+		{Name: "learning_rate", Kind: LogUniform, Lo: 1e-5, Hi: 1e-2},
+		{Name: "batch_norm", Kind: Bool},
+		{Name: "dense_nodes", Kind: Choice, Options: []float64{16, 24, 32, 48}},
+		{Name: "residual1", Kind: Bool},
+		{Name: "residual2", Kind: Bool},
+		{Name: "conv_filters1", Kind: Choice, Options: []float64{4, 8, 12}},
+		{Name: "conv_filters2", Kind: Choice, Options: []float64{8, 16, 24}},
+	}}
+}
+
+// FusionSpaceRepro is the repro-scale fusion space.
+func FusionSpaceRepro() *Space {
+	return &Space{Params: []Param{
+		{Name: "optimizer", Kind: Choice, Strings: []string{"adam", "adamw", "rmsprop", "adadelta"}},
+		{Name: "activation", Kind: Choice, Strings: []string{"relu", "lrelu", "selu"}},
+		{Name: "batch_size", Kind: Choice, Options: []float64{1, 2, 4, 8, 12, 16}},
+		{Name: "learning_rate", Kind: LogUniform, Lo: 1e-6, Hi: 1e-2},
+		{Name: "model_specific_layers", Kind: Bool},
+		{Name: "pretrained", Kind: Bool},
+		{Name: "dropout1", Kind: Uniform, Lo: 0, Hi: 0.50},
+		{Name: "dropout2", Kind: Uniform, Lo: 0, Hi: 0.25},
+		{Name: "dropout3", Kind: Uniform, Lo: 0, Hi: 0.125},
+		{Name: "num_fusion_layers", Kind: Choice, Options: []float64{3, 4, 5}},
+		{Name: "dense_nodes", Kind: Choice, Options: []float64{8, 16, 24, 32}},
+		{Name: "residual_fusion", Kind: Bool},
+	}}
+}

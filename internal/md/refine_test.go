@@ -1,0 +1,148 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/dock"
+	"deepfusion/internal/target"
+)
+
+func TestRefinePoseLowersForceFieldEnergy(t *testing.T) {
+	p := target.Protease1
+	m := testMol(t, "CC(=O)Nc1ccc(O)cc1", p)
+	// Strain the pose so refinement has work to do: push it off its
+	// docked position and squeeze one bond.
+	m.Translate(chem.Vec3{X: 1.5, Y: -0.8, Z: 0.6})
+	m.Atoms[0].Pos.X += 0.25
+	before := NewSystem(p, m, 1).PotentialEnergy()
+	refined, after := RefinePose(p, m, DefaultOptions())
+	if after >= before {
+		t.Fatalf("refinement must lower the force-field energy: %.3f -> %.3f", before, after)
+	}
+	if math.IsNaN(after) || math.IsInf(after, 0) {
+		t.Fatalf("refined energy not finite: %g", after)
+	}
+	if len(refined.Atoms) != len(m.Atoms) {
+		t.Fatalf("refinement changed the atom count: %d -> %d", len(m.Atoms), len(refined.Atoms))
+	}
+}
+
+func TestRefinePoseDeterministic(t *testing.T) {
+	p := target.Spike1
+	m := testMol(t, "c1ccc2c(c1)cccc2O", p)
+	o := DefaultOptions()
+	a, ea := RefinePose(p, m, o)
+	b, eb := RefinePose(p, m, o)
+	if ea != eb {
+		t.Fatalf("same seed must give the same energy: %v vs %v", ea, eb)
+	}
+	for i := range a.Atoms {
+		if a.Atoms[i].Pos != b.Atoms[i].Pos {
+			t.Fatalf("same seed must give identical geometry (atom %d differs)", i)
+		}
+	}
+}
+
+func TestRefinePoseDoesNotMutateInput(t *testing.T) {
+	p := target.Protease2
+	m := testMol(t, "CCOC(=O)c1ccccc1N", p)
+	orig := m.Clone()
+	RefinePose(p, m, DefaultOptions())
+	for i := range m.Atoms {
+		if m.Atoms[i].Pos != orig.Atoms[i].Pos {
+			t.Fatal("RefinePose must not modify the input molecule")
+		}
+	}
+}
+
+func TestRefinePosePreservesBondLengths(t *testing.T) {
+	p := target.Protease1
+	m := testMol(t, "NC(Cc1ccccc1)C(=O)O", p)
+	refined, _ := RefinePose(p, m, DefaultOptions())
+	for _, b := range m.Bonds {
+		r0 := m.Atoms[b.A].Pos.Dist(m.Atoms[b.B].Pos)
+		r1 := refined.Atoms[b.A].Pos.Dist(refined.Atoms[b.B].Pos)
+		if math.Abs(r1-r0)/r0 > 0.15 {
+			t.Fatalf("bond %d-%d stretched %.2f -> %.2f A (>15%%): annealing must not tear the molecule",
+				b.A, b.B, r0, r1)
+		}
+	}
+}
+
+func TestRefinePoseStaysNearPocket(t *testing.T) {
+	p := target.Spike2
+	m := testMol(t, "CC(C)NCC(O)c1ccc(O)cc1", p)
+	refined, _ := RefinePose(p, m, DefaultOptions())
+	if d := refined.Centroid().Norm(); d > p.Radius+6 {
+		t.Fatalf("refined pose drifted %.1f A from the pocket (radius %.1f)", d, p.Radius)
+	}
+}
+
+func TestRefinePoseNoAnnealIsPureMinimization(t *testing.T) {
+	p := target.Protease1
+	m := testMol(t, "Oc1ccccc1", p)
+	o := DefaultOptions()
+	o.AnnealSteps = 0
+	_, e := RefinePose(p, m, o)
+	s := NewSystem(p, m, o.Seed)
+	s.Minimize(o.MinimizeSteps, minimizeTolCoarse)
+	_, want := s.Minimize(o.MinimizeSteps, minimizeTolFine)
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("with AnnealSteps=0 RefinePose should equal double minimization: %v vs %v", e, want)
+	}
+}
+
+func TestRefineDockPosesSortedAndRanked(t *testing.T) {
+	p := target.Protease1
+	m := testMol(t, "CC(=O)Oc1ccccc1C(=O)O", nil)
+	poses := dock.Dock(p, m, dock.DefaultSearchOptions())
+	if len(poses) == 0 {
+		t.Fatal("docking produced no poses")
+	}
+	o := DefaultOptions()
+	o.AnnealSteps = 40 // keep the test fast
+	refined := RefineDockPoses(p, poses, o)
+	if len(refined) != len(poses) {
+		t.Fatalf("got %d refined poses, want %d", len(refined), len(poses))
+	}
+	for i := range refined {
+		if refined[i].Rank != i {
+			t.Fatalf("pose %d has rank %d", i, refined[i].Rank)
+		}
+		if i > 0 && refined[i].Score < refined[i-1].Score {
+			t.Fatalf("poses not sorted by score: %f before %f", refined[i-1].Score, refined[i].Score)
+		}
+	}
+}
+
+func TestRefineDockPosesEmpty(t *testing.T) {
+	if got := RefineDockPoses(target.Spike1, nil, DefaultOptions()); len(got) != 0 {
+		t.Fatalf("refining no poses should return none, got %d", len(got))
+	}
+}
+
+func TestRefineDockPosesImprovesEnergyOnAverage(t *testing.T) {
+	p := target.Protease2
+	var dBefore, dAfter float64
+	smiles := []string{"CCOC(=O)C", "Nc1ccc(S(N)(=O)=O)cc1", "CC(C)Cc1ccc(C(C)C(=O)O)cc1"}
+	o := DefaultOptions()
+	o.AnnealSteps = 40
+	for i, s := range smiles {
+		m := testMol(t, s, nil)
+		so := dock.DefaultSearchOptions()
+		so.Seed = int64(i + 1)
+		poses := dock.Dock(p, m, so)
+		if len(poses) == 0 {
+			t.Fatalf("no poses for %q", s)
+		}
+		top := poses[0]
+		dBefore += NewSystem(p, top.Mol, 1).PotentialEnergy()
+		ref, _ := RefinePose(p, top.Mol, o)
+		dAfter += NewSystem(p, ref, 1).PotentialEnergy()
+	}
+	if dAfter >= dBefore {
+		t.Fatalf("MD refinement should lower mean force-field energy: %.3f -> %.3f", dBefore, dAfter)
+	}
+}

@@ -1,0 +1,365 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRMSEMAEKnown(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 4, 2}
+	if got := RMSE(pred, truth); !almost(got, math.Sqrt(5.0/3), 1e-12) {
+		t.Fatalf("RMSE = %v", got)
+	}
+	if got := MAE(pred, truth); !almost(got, 1, 1e-12) {
+		t.Fatalf("MAE = %v", got)
+	}
+}
+
+func TestRMSEEmpty(t *testing.T) {
+	if RMSE(nil, nil) != 0 || MAE(nil, nil) != 0 || R2(nil, nil) != 0 {
+		t.Fatal("empty series must give 0")
+	}
+}
+
+func TestRMSEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestR2PerfectAndMean(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	if got := R2(truth, truth); !almost(got, 1, 1e-12) {
+		t.Fatalf("perfect R2 = %v", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(mean, truth); !almost(got, 0, 1e-12) {
+		t.Fatalf("mean-predictor R2 = %v", got)
+	}
+}
+
+func TestR2ConstantTruth(t *testing.T) {
+	if got := R2([]float64{1, 2}, []float64{3, 3}); got != 0 {
+		t.Fatalf("constant-truth R2 = %v, want 0", got)
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); !almost(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, yneg); !almost(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	if got := Pearson(x, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Fatalf("constant Pearson = %v, want 0", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125} // monotone nonlinear
+	if got := Spearman(x, y); !almost(got, 1, 1e-12) {
+		t.Fatalf("Spearman = %v, want 1", got)
+	}
+	if p := Pearson(x, y); p >= 0.999 {
+		t.Fatalf("sanity: Pearson should be < 1 for nonlinear, got %v", p)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{1, 2, 2, 3}
+	if got := Spearman(x, y); !almost(got, 1, 1e-12) {
+		t.Fatalf("tied Spearman = %v, want 1", got)
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestPRCurvePerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve := PRCurve(scores, labels)
+	if len(curve) != 4 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[0].Precision != 1 || curve[0].Recall != 0.5 {
+		t.Fatalf("first point %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.Recall != 1 || !almost(last.Precision, 0.5, 1e-12) {
+		t.Fatalf("last point %+v", last)
+	}
+	f1, thr := BestF1(scores, labels)
+	if !almost(f1, 1, 1e-12) || thr != 0.8 {
+		t.Fatalf("BestF1 = %v at %v", f1, thr)
+	}
+}
+
+func TestPRCurveTiedScores(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5}
+	labels := []bool{true, false, true}
+	curve := PRCurve(scores, labels)
+	if len(curve) != 1 {
+		t.Fatalf("tied scores must collapse to one point, got %d", len(curve))
+	}
+	if !almost(curve[0].Precision, 2.0/3, 1e-12) || curve[0].Recall != 1 {
+		t.Fatalf("point %+v", curve[0])
+	}
+}
+
+func TestF1At(t *testing.T) {
+	scores := []float64{0.9, 0.6, 0.4, 0.1}
+	labels := []bool{true, false, true, false}
+	// threshold 0.5: tp=1 fp=1 fn=1 -> F1 = 2/4
+	if got := F1At(scores, labels, 0.5); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("F1At = %v", got)
+	}
+	if got := F1At(nil, nil, 0.5); got != 0 {
+		t.Fatalf("empty F1 = %v", got)
+	}
+}
+
+func TestCohenKappaPerfectAndRandom(t *testing.T) {
+	labels := []bool{true, true, false, false}
+	if got := CohenKappa(labels, labels); !almost(got, 1, 1e-12) {
+		t.Fatalf("perfect kappa = %v", got)
+	}
+	// A constant classifier has kappa 0.
+	all := []bool{true, true, true, true}
+	if got := CohenKappa(all, labels); !almost(got, 0, 1e-12) {
+		t.Fatalf("constant-classifier kappa = %v", got)
+	}
+}
+
+func TestCohenKappaRandomNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 20000
+	pred := make([]bool, n)
+	labels := make([]bool, n)
+	for i := range pred {
+		pred[i] = rng.Float64() < 0.3
+		labels[i] = rng.Float64() < 0.3
+	}
+	if got := CohenKappa(pred, labels); math.Abs(got) > 0.03 {
+		t.Fatalf("random kappa = %v, want ~0", got)
+	}
+}
+
+func TestAveragePrecisionBounds(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2}
+	labels := []bool{true, true, false, false}
+	ap := AveragePrecision(scores, labels)
+	if !almost(ap, 1, 1e-12) {
+		t.Fatalf("perfect AP = %v", ap)
+	}
+	inverted := []bool{false, false, true, true}
+	apInv := AveragePrecision(scores, inverted)
+	if apInv >= ap {
+		t.Fatalf("inverted AP %v should be worse than %v", apInv, ap)
+	}
+}
+
+func TestPositiveRate(t *testing.T) {
+	if got := PositiveRate([]bool{true, false, false, true}); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("rate = %v", got)
+	}
+	if PositiveRate(nil) != 0 {
+		t.Fatal("empty rate must be 0")
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms.
+func TestPearsonAffineInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = x[i]*0.5 + rng.NormFloat64()
+		}
+		base := Pearson(x, y)
+		x2 := make([]float64, n)
+		for i := range x2 {
+			x2[i] = 3*x[i] + 7
+		}
+		return almost(Pearson(x2, y), base, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+func TestSpearmanMonotoneInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		base := Spearman(x, y)
+		x2 := make([]float64, n)
+		for i := range x2 {
+			x2[i] = math.Exp(x[i])
+		}
+		return almost(Spearman(x2, y), base, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RMSE >= MAE always.
+func TestRMSEDominatesMAEProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		return RMSE(a, b) >= MAE(a, b)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PR curve recall is non-decreasing as the threshold drops.
+func TestPRCurveRecallMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = rng.Float64() < 0.4
+		}
+		curve := PRCurve(scores, labels)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Recall < curve[i-1].Recall-1e-12 {
+				return false
+			}
+			if curve[i].Threshold >= curve[i-1].Threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCCurvePerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve := ROCCurve(scores, labels)
+	last := curve[len(curve)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("ROC must end at (1,1): %+v", last)
+	}
+	if got := AUC(scores, labels); !almost(got, 1, 1e-12) {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+}
+
+func TestAUCRandomNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Float64() < 0.5
+	}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 0.03 {
+		t.Fatalf("random AUC = %v, want ~0.5", got)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{false, false, true, true}
+	if got := AUC(scores, labels); !almost(got, 0, 1e-12) {
+		t.Fatalf("inverted AUC = %v, want 0", got)
+	}
+}
+
+func TestBootstrapCICoversPointEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 120
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.6*x[i] + 0.8*rng.NormFloat64()
+	}
+	point := Pearson(x, y)
+	lo, hi := BootstrapCI(x, y, Pearson, 400, 0.05, 11)
+	if lo > point || hi < point {
+		t.Fatalf("CI [%v, %v] misses point estimate %v", lo, hi, point)
+	}
+	if hi-lo <= 0 || hi-lo > 1 {
+		t.Fatalf("CI width %v implausible", hi-lo)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	lo, hi := BootstrapCI(nil, nil, Pearson, 100, 0.05, 1)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty bootstrap must return zeros")
+	}
+}
+
+// Property: AUC is invariant under strictly monotone score transforms.
+func TestAUCMonotoneInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Float64() < 0.5
+		}
+		base := AUC(scores, labels)
+		tr := make([]float64, n)
+		for i := range tr {
+			tr[i] = math.Exp(scores[i])
+		}
+		return almost(AUC(tr, labels), base, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

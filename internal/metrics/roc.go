@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// ROCPoint is one receiver-operating-characteristic operating point.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // sensitivity
+	FPR       float64 // 1 - specificity
+}
+
+// ROCCurve sweeps a descending threshold and returns the ROC points.
+// The paper argues P/R curves are more informative than ROC on the
+// small, imbalanced docked-pose sets; both are provided so the choice
+// can be reproduced.
+func ROCCurve(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) {
+		panic(ErrLengthMismatch)
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	totalPos, totalNeg := 0, 0
+	for _, l := range labels {
+		if l {
+			totalPos++
+		} else {
+			totalNeg++
+		}
+	}
+	var curve []ROCPoint
+	tp, fp := 0, 0
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		for k := i; k <= j; k++ {
+			if labels[idx[k]] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		p := ROCPoint{Threshold: scores[idx[i]]}
+		if totalPos > 0 {
+			p.TPR = float64(tp) / float64(totalPos)
+		}
+		if totalNeg > 0 {
+			p.FPR = float64(fp) / float64(totalNeg)
+		}
+		curve = append(curve, p)
+		i = j + 1
+	}
+	return curve
+}
+
+// AUC returns the area under the ROC curve by trapezoidal
+// integration. A random classifier scores 0.5.
+func AUC(scores []float64, labels []bool) float64 {
+	curve := ROCCurve(scores, labels)
+	area := 0.0
+	prevFPR, prevTPR := 0.0, 0.0
+	for _, p := range curve {
+		area += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	return area
+}
+
+// BootstrapCI estimates a confidence interval for a statistic of
+// paired data via the percentile bootstrap: resample pairs with
+// replacement nBoot times and take the (alpha/2, 1-alpha/2)
+// percentiles. Used to qualify the near-zero Table 8 correlations
+// ("the interpretation of near-zero correlation coefficients is
+// unavailing").
+func BootstrapCI(x, y []float64, stat func(a, b []float64) float64, nBoot int, alpha float64, seed int64) (lo, hi float64) {
+	mustPair(x, y)
+	n := len(x)
+	if n == 0 || nBoot < 2 {
+		return 0, 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, nBoot)
+	bx := make([]float64, n)
+	by := make([]float64, n)
+	for b := 0; b < nBoot; b++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = x[j], y[j]
+		}
+		vals[b] = stat(bx, by)
+	}
+	sort.Float64s(vals)
+	loIdx := int(alpha / 2 * float64(nBoot))
+	hiIdx := int((1 - alpha/2) * float64(nBoot))
+	if hiIdx >= nBoot {
+		hiIdx = nBoot - 1
+	}
+	return vals[loIdx], vals[hiIdx]
+}

@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepfusion/internal/tensor"
+)
+
+// Conv3D is a 3-dimensional convolution over voxel grids shaped
+// [N, C, D, H, W] with cubic kernels, stride 1 and "same" zero padding
+// (pad = K/2), matching the 5x5x5 and 3x3x3 stages of the paper's
+// 3D-CNN.
+type Conv3D struct {
+	In, Out, K int
+	W          *Param // [Out, In, K, K, K]
+	B          *Param // [Out]
+
+	lastX *tensor.Tensor
+}
+
+// NewConv3D constructs a Glorot-initialized 3D convolution.
+func NewConv3D(rng *rand.Rand, in, out, k int) *Conv3D {
+	if k%2 == 0 {
+		panic("nn: Conv3D kernel size must be odd for same padding")
+	}
+	c := &Conv3D{
+		In:  in,
+		Out: out,
+		K:   k,
+		W:   NewParam("conv3d.w", out, in, k, k, k),
+		B:   NewParam("conv3d.b", out),
+	}
+	fan := in * k * k * k
+	GlorotInit(rng, c.W, fan, out*k*k*k)
+	return c
+}
+
+// Forward implements Layer.
+func (c *Conv3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 5 || x.Dim(1) != c.In {
+		panic(fmt.Sprintf("nn: Conv3D expects [N,%d,D,H,W], got %v", c.In, x.Shape))
+	}
+	c.lastX = x
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	pad := c.K / 2
+	out := tensor.New(n, c.Out, d, h, w)
+	k := c.K
+	tensor.ParallelFor(n*c.Out, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			ni, co := idx/c.Out, idx%c.Out
+			bias := c.B.Value.Data[co]
+			for zd := 0; zd < d; zd++ {
+				for zh := 0; zh < h; zh++ {
+					for zw := 0; zw < w; zw++ {
+						s := bias
+						for ci := 0; ci < c.In; ci++ {
+							for kd := 0; kd < k; kd++ {
+								id := zd + kd - pad
+								if id < 0 || id >= d {
+									continue
+								}
+								for kh := 0; kh < k; kh++ {
+									ih := zh + kh - pad
+									if ih < 0 || ih >= h {
+										continue
+									}
+									xBase := ((ni*c.In+ci)*d+id)*h + ih
+									wBase := (((co*c.In+ci)*k+kd)*k + kh) * k
+									xRow := x.Data[xBase*w : xBase*w+w]
+									wRow := c.W.Value.Data[wBase : wBase+k]
+									for kw := 0; kw < k; kw++ {
+										iw := zw + kw - pad
+										if iw < 0 || iw >= w {
+											continue
+										}
+										s += xRow[iw] * wRow[kw]
+									}
+								}
+							}
+						}
+						out.Set(s, ni, co, zd, zh, zw)
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastX
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	pad := c.K / 2
+	k := c.K
+	dx := tensor.New(x.Shape...)
+	// Parameter gradients are accumulated serially per output channel to
+	// avoid write races; input gradients are accumulated per sample.
+	for ni := 0; ni < n; ni++ {
+		for co := 0; co < c.Out; co++ {
+			for zd := 0; zd < d; zd++ {
+				for zh := 0; zh < h; zh++ {
+					for zw := 0; zw < w; zw++ {
+						g := grad.At(ni, co, zd, zh, zw)
+						if g == 0 {
+							continue
+						}
+						c.B.Grad.Data[co] += g
+						for ci := 0; ci < c.In; ci++ {
+							for kd := 0; kd < k; kd++ {
+								id := zd + kd - pad
+								if id < 0 || id >= d {
+									continue
+								}
+								for kh := 0; kh < k; kh++ {
+									ih := zh + kh - pad
+									if ih < 0 || ih >= h {
+										continue
+									}
+									xBase := (((ni*c.In+ci)*d+id)*h + ih) * w
+									wBase := ((((co*c.In+ci)*k+kd)*k + kh) * k)
+									for kw := 0; kw < k; kw++ {
+										iw := zw + kw - pad
+										if iw < 0 || iw >= w {
+											continue
+										}
+										c.W.Grad.Data[wBase+kw] += g * x.Data[xBase+iw]
+										dx.Data[xBase+iw] += g * c.W.Value.Data[wBase+kw]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool3D downsamples [N, C, D, H, W] by taking the maximum over
+// non-overlapping cubic windows of size K (dimensions must divide K).
+type MaxPool3D struct {
+	K int
+
+	lastArg []int // winning input flat index per output element
+	inShape []int
+}
+
+// NewMaxPool3D constructs a max-pooling layer with window k.
+func NewMaxPool3D(k int) *MaxPool3D { return &MaxPool3D{K: k} }
+
+// Forward implements Layer.
+func (m *MaxPool3D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := m.K
+	if d%k != 0 || h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("nn: MaxPool3D window %d does not divide grid %v", k, x.Shape))
+	}
+	od, oh, ow := d/k, h/k, w/k
+	out := tensor.New(n, c, od, oh, ow)
+	m.lastArg = make([]int, out.Len())
+	m.inShape = append([]int(nil), x.Shape...)
+	oi := 0
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for zd := 0; zd < od; zd++ {
+				for zh := 0; zh < oh; zh++ {
+					for zw := 0; zw < ow; zw++ {
+						best := 0
+						bestV := 0.0
+						first := true
+						for kd := 0; kd < k; kd++ {
+							for kh := 0; kh < k; kh++ {
+								for kw := 0; kw < k; kw++ {
+									fi := ((((ni*c+ci)*d+zd*k+kd)*h + zh*k + kh) * w) + zw*k + kw
+									if first || x.Data[fi] > bestV {
+										best, bestV = fi, x.Data[fi]
+										first = false
+									}
+								}
+							}
+						}
+						out.Data[oi] = bestV
+						m.lastArg[oi] = best
+						oi++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool3D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShape...)
+	for oi, fi := range m.lastArg {
+		dx.Data[fi] += grad.Data[oi]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool3D) Params() []*Param { return nil }
+
+// Flatten reshapes [N, ...] to [N, prod(...)]; its backward restores the
+// original shape.
+type Flatten struct {
+	inShape []int
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape...)
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,22 @@
+package nn
+
+import "deepfusion/internal/tensor"
+
+// MSELoss returns the mean-squared error between predictions and
+// targets (both [N] or [N,1]) and the gradient of the loss with respect
+// to the predictions. This is the objective function (Q) of the paper's
+// PB2 optimization.
+func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if pred.Len() != target.Len() {
+		panic("nn: MSELoss length mismatch")
+	}
+	n := float64(pred.Len())
+	grad := tensor.New(pred.Shape...)
+	loss := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}

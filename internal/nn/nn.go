@@ -1,0 +1,107 @@
+// Package nn implements the neural-network layer framework used by the
+// Deep Fusion models: parameterized layers with explicit reverse-mode
+// backpropagation, the activations and optimizers listed in Table 1 of
+// the paper, and mean-squared-error training utilities.
+//
+// Layers follow a Forward/Backward contract: a call to Forward caches
+// whatever intermediate state Backward needs, and Backward must be
+// called at most once per Forward with the gradient of the loss with
+// respect to the layer output, returning the gradient with respect to
+// the layer input. This mirrors the single-pass training loop of the
+// original PyTorch implementation without a general autodiff tape.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"deepfusion/internal/tensor"
+)
+
+// Param is a trainable tensor together with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter and its gradient buffer with the given
+// shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a model.
+type Layer interface {
+	// Forward computes the layer output for x. When train is true the
+	// layer may apply stochastic regularization (dropout) and update
+	// running statistics (batch norm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient with respect to the output of the
+	// most recent Forward call, accumulates parameter gradients, and
+	// returns the gradient with respect to that Forward's input.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters of the layer (possibly
+	// empty). The slice must be stable across calls.
+	Params() []*Param
+}
+
+// Sequential chains layers, feeding each layer's output to the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears the gradients of every parameter in ps.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// GlorotInit fills w (shaped fanOut x fanIn or a conv kernel) with
+// Glorot/Xavier-scaled normal values, the initialization used by the
+// reference FAST models.
+func GlorotInit(rng *rand.Rand, p *Param, fanIn, fanOut int) {
+	std := 1.0
+	if fanIn+fanOut > 0 {
+		std = math.Sqrt(2.0 / float64(fanIn+fanOut))
+	}
+	p.Value.RandNormal(rng, std)
+}

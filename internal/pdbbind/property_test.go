@@ -1,0 +1,155 @@
+package pdbbind
+
+// Property-based tests (testing/quick) for the synthetic PDBbind
+// corpus: the quintile split is an exact partition at every size and
+// fraction, generation is deterministic, and set-membership rules
+// hold for arbitrary corpus sizes.
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuintileSplitIsPartitionProperty(t *testing.T) {
+	// For arbitrary corpus sizes and validation fractions, the split
+	// must place every complex in exactly one of train/val.
+	check := func(nPick, fPick uint, seed int64) bool {
+		n := 10 + int(nPick%150)
+		frac := 0.05 + float64(fPick%40)/100 // 0.05 .. 0.44
+		ds := Generate(Options{
+			NGeneral: n, NRefined: n / 2, NCore: 4,
+			ValFraction: frac, NumPockets: 4, Seed: seed,
+		})
+		seen := make(map[string]int)
+		for _, c := range ds.Train {
+			seen[c.ID]++
+		}
+		for _, c := range ds.Val {
+			seen[c.ID]++
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		total := len(ds.Train) + len(ds.Val)
+		if total != n+n/2 {
+			return false
+		}
+		// The realized fraction tracks the request. Quintile rounding
+		// can shift up to one complex per quintile per stratum (5
+		// quintiles x 2 strata), so the tolerance is size-aware.
+		got := float64(len(ds.Val)) / float64(total)
+		tol := math.Max(0.12, 10.0/float64(total))
+		return math.Abs(got-frac) < tol
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuintileSplitCoversAffinityRangeProperty(t *testing.T) {
+	// Quintile stratification guarantees the validation set spans the
+	// label range: its min and max quintiles are populated whenever the
+	// validation set is big enough.
+	check := func(seed int64) bool {
+		ds := Generate(Options{
+			NGeneral: 200, NRefined: 100, NCore: 8,
+			ValFraction: 0.2, NumPockets: 4, Seed: seed,
+		})
+		if len(ds.Val) < 20 {
+			return false
+		}
+		var labels []float64
+		for _, c := range ds.Train {
+			labels = append(labels, c.Label)
+		}
+		for _, c := range ds.Val {
+			labels = append(labels, c.Label)
+		}
+		sort.Float64s(labels)
+		q1 := labels[len(labels)/4]
+		q3 := labels[3*len(labels)/4]
+		vLo, vHi := math.Inf(1), math.Inf(-1)
+		for _, c := range ds.Val {
+			vLo = math.Min(vLo, c.Label)
+			vHi = math.Max(vHi, c.Label)
+		}
+		// Validation draws from every quintile, so it must reach into
+		// the bottom and top quartiles of the label distribution.
+		return vLo <= q1 && vHi >= q3
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministicProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		o := Options{NGeneral: 40, NRefined: 20, NCore: 6, ValFraction: 0.15, NumPockets: 4, Seed: seed}
+		a, b := Generate(o), Generate(o)
+		if len(a.Train) != len(b.Train) || len(a.Val) != len(b.Val) || len(a.Core) != len(b.Core) {
+			return false
+		}
+		for i := range a.Train {
+			if a.Train[i].ID != b.Train[i].ID || a.Train[i].Label != b.Train[i].Label {
+				return false
+			}
+		}
+		for i := range a.Core {
+			if a.Core[i].ID != b.Core[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreSetRulesProperty(t *testing.T) {
+	// Core complexes obey the PDBbind core-set filters for arbitrary
+	// seeds: every core entry has Ki/Kd measurement (never IC50-only),
+	// resolution < 2.5 A, and ligand weight <= 1000 Da.
+	check := func(seed int64) bool {
+		ds := Generate(Options{NGeneral: 60, NRefined: 30, NCore: 12, ValFraction: 0.1, NumPockets: 4, Seed: seed})
+		for _, c := range ds.Core {
+			if c.Set != "core" {
+				return false
+			}
+			if c.Measure == MeasureIC50 {
+				return false
+			}
+			if c.Resolution >= 2.5 {
+				return false
+			}
+			if c.Mol.Weight() > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelsWithinPKRangeProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		ds := Generate(Options{NGeneral: 50, NRefined: 25, NCore: 6, ValFraction: 0.1, NumPockets: 4, Seed: seed})
+		for _, group := range [][]*Complex{ds.Train, ds.Val, ds.Core} {
+			for _, c := range group {
+				if c.Label < 2 || c.Label > 12 || math.IsNaN(c.Label) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package screen
+
+import (
+	"sort"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/mmgbsa"
+)
+
+// CompoundScore is the per-compound aggregation of pose-level
+// predictions for one binding site: the strongest prediction across
+// all poses (maximum for Fusion, minimum for Vina and MM/GBSA), as in
+// paper Section 5.2.
+type CompoundScore struct {
+	CompoundID string
+	Target     string
+	Fusion     float64 // max predicted pK over poses
+	Vina       float64 // min kcal/mol over poses
+	MMGBSA     float64 // min kcal/mol over poses
+	AMPL       float64 // AMPL surrogate prediction (pose-independent)
+	NumPoses   int
+}
+
+// AggregateByCompound folds pose-level predictions into per-compound
+// scores.
+func AggregateByCompound(preds []Prediction) []CompoundScore {
+	byID := map[string]*CompoundScore{}
+	var order []string
+	for _, p := range preds {
+		key := p.CompoundID + "|" + p.Target
+		cs, ok := byID[key]
+		if !ok {
+			cs = &CompoundScore{CompoundID: p.CompoundID, Target: p.Target,
+				Fusion: p.Fusion, Vina: p.Vina, MMGBSA: p.MMGBSA}
+			byID[key] = cs
+			order = append(order, key)
+		}
+		if p.Fusion > cs.Fusion {
+			cs.Fusion = p.Fusion
+		}
+		if p.Vina < cs.Vina {
+			cs.Vina = p.Vina
+		}
+		if p.MMGBSA < cs.MMGBSA {
+			cs.MMGBSA = p.MMGBSA
+		}
+		cs.NumPoses++
+	}
+	out := make([]CompoundScore, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byID[k])
+	}
+	return out
+}
+
+// CostWeights is the hand-tailored compound-selection cost function of
+// the paper (Section 5): a weighted combination of the three energy
+// calculations. Higher combined score = stronger candidate.
+type CostWeights struct {
+	Fusion float64
+	Vina   float64
+	AMPL   float64
+}
+
+// DefaultCostWeights weights Fusion most heavily with the physics
+// scores as regularizers.
+func DefaultCostWeights() CostWeights {
+	return CostWeights{Fusion: 0.5, Vina: 0.25, AMPL: 0.25}
+}
+
+// kcalPerPK converts kcal/mol scores to pK scale for mixing.
+const kcalPerPK = 1.36
+
+// Combined returns the selection score of a compound (higher =
+// stronger candidate).
+func (w CostWeights) Combined(cs CompoundScore) float64 {
+	return w.Fusion*cs.Fusion + w.Vina*(-cs.Vina/kcalPerPK) + w.AMPL*(-cs.AMPL/kcalPerPK)
+}
+
+// SelectForExperiment ranks compounds by the cost function and returns
+// the top n — the purchase list sent for experimental testing.
+func SelectForExperiment(scores []CompoundScore, w CostWeights, n int) []CompoundScore {
+	ranked := append([]CompoundScore(nil), scores...)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return w.Combined(ranked[a]) > w.Combined(ranked[b])
+	})
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	return ranked[:n]
+}
+
+// AttachAMPL fills the AMPL surrogate score for each compound using a
+// per-target fitted model (the paper used AMPL-predicted MM/GBSA for
+// the retrospective analysis because full MM/GBSA on every tested
+// compound was too expensive). mols maps compound ID to its prepared
+// molecule.
+func AttachAMPL(scores []CompoundScore, model *mmgbsa.AMPL, mols map[string]*chem.Mol) {
+	for i := range scores {
+		if m, ok := mols[scores[i].CompoundID]; ok {
+			scores[i].AMPL = model.Predict(m)
+		}
+	}
+}

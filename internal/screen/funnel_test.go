@@ -1,0 +1,59 @@
+package screen
+
+import (
+	"testing"
+)
+
+func TestAggregateEmpty(t *testing.T) {
+	if got := AggregateByCompound(nil); len(got) != 0 {
+		t.Fatal("empty aggregation")
+	}
+}
+
+func TestAggregatePreservesFirstSeenOrder(t *testing.T) {
+	preds := []Prediction{
+		{CompoundID: "z", Target: "t", Fusion: 1},
+		{CompoundID: "a", Target: "t", Fusion: 2},
+		{CompoundID: "z", Target: "t", Fusion: 3},
+	}
+	agg := AggregateByCompound(preds)
+	if agg[0].CompoundID != "z" || agg[1].CompoundID != "a" {
+		t.Fatalf("order not preserved: %+v", agg)
+	}
+	if agg[0].Fusion != 3 {
+		t.Fatal("max-pose aggregation wrong")
+	}
+}
+
+func TestSelectForExperimentStable(t *testing.T) {
+	// Equal combined scores keep input order (stable sort).
+	scores := []CompoundScore{
+		{CompoundID: "first", Fusion: 5},
+		{CompoundID: "second", Fusion: 5},
+	}
+	top := SelectForExperiment(scores, CostWeights{Fusion: 1}, 2)
+	if top[0].CompoundID != "first" {
+		t.Fatal("stable ordering violated")
+	}
+}
+
+func TestSelectDoesNotMutateInput(t *testing.T) {
+	scores := []CompoundScore{
+		{CompoundID: "low", Fusion: 1},
+		{CompoundID: "high", Fusion: 9},
+	}
+	SelectForExperiment(scores, DefaultCostWeights(), 1)
+	if scores[0].CompoundID != "low" {
+		t.Fatal("SelectForExperiment reordered its input")
+	}
+}
+
+func TestDefaultCostWeightsFavorFusion(t *testing.T) {
+	w := DefaultCostWeights()
+	if w.Fusion <= w.Vina || w.Fusion <= w.AMPL {
+		t.Fatalf("fusion should carry the largest weight: %+v", w)
+	}
+	if w.Fusion+w.Vina+w.AMPL != 1 {
+		t.Fatalf("weights should sum to 1: %+v", w)
+	}
+}

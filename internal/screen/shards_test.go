@@ -1,0 +1,133 @@
+package screen
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"deepfusion/internal/h5lite"
+)
+
+func TestReadShardsInvertsWriteShards(t *testing.T) {
+	preds := []Prediction{
+		{CompoundID: "a", Target: "spike1", PoseRank: 0, Fusion: 5.5, Vina: -6, MMGBSA: -20},
+		{CompoundID: "b", Target: "spike1", PoseRank: 1, Fusion: 4.5, Vina: -5, MMGBSA: -18},
+		{CompoundID: "c", Target: "protease1", PoseRank: 0, Fusion: 6.5, Vina: -7, MMGBSA: -22},
+		{CompoundID: "a", Target: "protease1", PoseRank: 2, Fusion: 3.5, Vina: -4, MMGBSA: -12},
+	}
+	files := WriteShards(preds, 3)
+	back, err := ReadShards(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePredictionSet(preds, back) {
+		t.Fatalf("round trip lost predictions:\n in: %+v\nout: %+v", preds, back)
+	}
+}
+
+func TestReadShardsRoundTripProperty(t *testing.T) {
+	// For random prediction sets and shard counts, write -> serialize
+	// -> deserialize -> read recovers exactly the same multiset.
+	targets := []string{"protease1", "protease2", "spike1", "spike2"}
+	check := func(seed int64, shardPick uint) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		preds := make([]Prediction, n)
+		for i := range preds {
+			preds[i] = Prediction{
+				CompoundID: "cmpd-" + string(rune('a'+rng.Intn(8))),
+				Target:     targets[rng.Intn(len(targets))],
+				PoseRank:   rng.Intn(10),
+				Fusion:     rng.Float64() * 12,
+				Vina:       -rng.Float64() * 10,
+				MMGBSA:     -rng.Float64() * 40,
+			}
+		}
+		shards := 1 + int(shardPick%5)
+		files := WriteShards(preds, shards)
+		// Serialize and reload every shard to exercise the binary path.
+		reloaded := make([]*h5lite.File, len(files))
+		for i, f := range files {
+			var buf bytes.Buffer
+			if err := f.Write(&buf); err != nil {
+				return false
+			}
+			back, err := h5lite.Read(&buf)
+			if err != nil {
+				return false
+			}
+			reloaded[i] = back
+		}
+		got, err := ReadShards(reloaded)
+		if err != nil {
+			return false
+		}
+		return samePredictionSet(preds, got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadShardsEmptyAndMissingGroups(t *testing.T) {
+	if got, err := ReadShards(nil); err != nil || len(got) != 0 {
+		t.Fatalf("ReadShards(nil) = %v, %v; want empty", got, err)
+	}
+	// A file with no dock group is skipped, not an error.
+	f := h5lite.New()
+	f.Root().Group("other")
+	if got, err := ReadShards([]*h5lite.File{f}); err != nil || len(got) != 0 {
+		t.Fatalf("file without dock group should read as empty, got %v, %v", got, err)
+	}
+}
+
+func TestReadShardsRaggedColumnsError(t *testing.T) {
+	f := h5lite.New()
+	g := f.Root().Group("dock").Group("spike1")
+	g.SetStrings("ids", []string{"a", "b"})
+	g.SetFloats("pose_rank", []float64{0})
+	g.SetFloats("fusion_pk", []float64{5, 6})
+	g.SetFloats("vina_kcal", []float64{-5, -6})
+	g.SetFloats("mmgbsa_kcal", []float64{-15, -16})
+	if _, err := ReadShards([]*h5lite.File{f}); err == nil {
+		t.Fatal("ragged columns must be reported")
+	}
+}
+
+// samePredictionSet compares two prediction lists as multisets,
+// ignoring Rank (not persisted in shards).
+func samePredictionSet(a, b []Prediction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	norm := func(ps []Prediction) []Prediction {
+		out := make([]Prediction, len(ps))
+		copy(out, ps)
+		for i := range out {
+			out[i].Rank = 0
+		}
+		sort.Slice(out, func(x, y int) bool {
+			px, py := out[x], out[y]
+			if px.CompoundID != py.CompoundID {
+				return px.CompoundID < py.CompoundID
+			}
+			if px.Target != py.Target {
+				return px.Target < py.Target
+			}
+			if px.PoseRank != py.PoseRank {
+				return px.PoseRank < py.PoseRank
+			}
+			return px.Fusion < py.Fusion
+		})
+		return out
+	}
+	na, nb := norm(a), norm(b)
+	for i := range na {
+		if na[i] != nb[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,58 @@
+package screen
+
+import (
+	"sync"
+
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/mmgbsa"
+	"deepfusion/internal/target"
+)
+
+// StreamingJob is the paper's stated future-work improvement to the
+// scoring architecture: "efficiency will be improved by creating a
+// separate, parallel process per rank to write results as they are
+// computed" — instead of holding every prediction until the job-end
+// allgather, each rank hands finished predictions to a dedicated
+// writer goroutine that emits them immediately.
+//
+// RunJobStreaming returns a channel that delivers predictions as they
+// are scored (in completion order, not input order) and a wait
+// function that blocks until the job drains and reports any injected
+// failure. A consumer that needs the original order can reassemble by
+// the Prediction's identifiers.
+func RunJobStreaming(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) (<-chan Prediction, func() error) {
+	out := make(chan Prediction, o.Ranks*4+4)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(out)
+		if o.Ranks < 1 {
+			errc <- ErrJobFailed
+			return
+		}
+		var wg sync.WaitGroup
+		for rank := 0; rank < o.Ranks; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				replica := f.Clone()
+				// Per-rank writer: predictions flow out as computed.
+				for i := rank; i < len(poses); i += o.Ranks {
+					ps := poses[i]
+					s := fusion.FeaturizeComplex(ps.CompoundID, p, ps.Mol, 0, o.Voxel, o.Graph)
+					out <- Prediction{
+						CompoundID: ps.CompoundID,
+						Target:     p.Name,
+						PoseRank:   ps.PoseRank,
+						Fusion:     replica.Predict(s),
+						Vina:       ps.VinaScore,
+						MMGBSA:     mmgbsa.Rescore(p, ps.Mol),
+						Rank:       rank,
+					}
+				}
+			}(rank)
+		}
+		wg.Wait()
+		errc <- nil
+	}()
+	return out, func() error { return <-errc }
+}

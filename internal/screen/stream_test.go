@@ -1,0 +1,82 @@
+package screen
+
+import (
+	"testing"
+
+	"deepfusion/internal/target"
+)
+
+func TestStreamingJobDeliversAll(t *testing.T) {
+	f := tinyFusion(t)
+	mols := testMols(t, 3)
+	poses, _ := DockCompounds(target.Spike1, mols, 2, 20)
+	o := tinyJobOptions()
+	ch, wait := RunJobStreaming(f, target.Spike1, poses, o)
+	seen := map[string]int{}
+	n := 0
+	for pr := range ch {
+		seen[pr.CompoundID]++
+		n++
+		if pr.Target != "spike1" {
+			t.Fatalf("target %q", pr.Target)
+		}
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(poses) {
+		t.Fatalf("streamed %d predictions, want %d", n, len(poses))
+	}
+	if len(seen) == 0 {
+		t.Fatal("no compounds streamed")
+	}
+}
+
+func TestStreamingMatchesBatch(t *testing.T) {
+	// Streaming and batch jobs must produce identical prediction sets.
+	f := tinyFusion(t)
+	mols := testMols(t, 2)
+	poses, _ := DockCompounds(target.Protease1, mols, 2, 21)
+	o := tinyJobOptions()
+	batch, err := RunJob(f, target.Protease1, poses, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{}
+	for _, pr := range batch {
+		want[key(pr)] = pr.Fusion
+	}
+	ch, wait := RunJobStreaming(f, target.Protease1, poses, o)
+	got := map[string]float64{}
+	for pr := range ch {
+		got[key(pr)] = pr.Fusion
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d distinct predictions, batch %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("prediction mismatch for %s: %v vs %v", k, got[k], v)
+		}
+	}
+}
+
+func key(p Prediction) string {
+	return p.CompoundID + "#" + string(rune('0'+p.PoseRank))
+}
+
+func TestStreamingZeroRanks(t *testing.T) {
+	f := tinyFusion(t)
+	o := tinyJobOptions()
+	o.Ranks = 0
+	ch, wait := RunJobStreaming(f, target.Spike1, nil, o)
+	for range ch {
+		t.Fatal("no predictions expected")
+	}
+	if err := wait(); err == nil {
+		t.Fatal("expected error for zero ranks")
+	}
+}

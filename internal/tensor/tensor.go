@@ -1,0 +1,270 @@
+// Package tensor provides a minimal n-dimensional dense tensor of
+// float64 values together with the linear-algebra kernels the neural
+// network layers in this repository are built on.
+//
+// The package is deliberately small: row-major contiguous storage, a
+// handful of element-wise operations, matrix multiplication, and a
+// parallel-for helper used by the compute-heavy kernels. It plays the
+// role PyTorch's ATen plays for the original FAST/Deep Fusion code.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major n-dimensional array of float64.
+// The zero value is an empty tensor with no shape.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is
+// used directly (not copied). It panics if the length does not match.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v requires %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape covering the same data.
+// It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + ix
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// AddInPlace adds o element-wise into t. Shapes must match in length.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AddInPlace length mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY computes t += a*o element-wise.
+func (t *Tensor) AXPY(a float64, o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Add returns t + o as a new tensor.
+func Add(t, o *Tensor) *Tensor {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Add length mismatch")
+	}
+	r := New(t.Shape...)
+	for i := range t.Data {
+		r.Data[i] = t.Data[i] + o.Data[i]
+	}
+	return r
+}
+
+// Sub returns t - o as a new tensor.
+func Sub(t, o *Tensor) *Tensor {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Sub length mismatch")
+	}
+	r := New(t.Shape...)
+	for i := range t.Data {
+		r.Data[i] = t.Data[i] - o.Data[i]
+	}
+	return r
+}
+
+// Mul returns the element-wise (Hadamard) product of t and o.
+func Mul(t, o *Tensor) *Tensor {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: Mul length mismatch")
+	}
+	r := New(t.Shape...)
+	for i := range t.Data {
+		r.Data[i] = t.Data[i] * o.Data[i]
+	}
+	return r
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on an empty tensor.
+func (t *Tensor) Min() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Apply replaces every element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+// Map returns a new tensor whose elements are f applied to t's.
+func (t *Tensor) Map(f func(float64) float64) *Tensor {
+	r := New(t.Shape...)
+	for i, v := range t.Data {
+		r.Data[i] = f(v)
+	}
+	return r
+}
+
+// Row returns a view of row i of a rank-2 tensor as a slice.
+func (t *Tensor) Row(i int) []float64 {
+	if len(t.Shape) != 2 {
+		panic("tensor: Row requires a rank-2 tensor")
+	}
+	c := t.Shape[1]
+	return t.Data[i*c : (i+1)*c]
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v n=%d", t.Shape, len(t.Data))
+}
