@@ -1,0 +1,39 @@
+# Build, verification and benchmark entry points for the deepfusion
+# reproduction. `make verify` is the tier-1 gate every change must
+# keep green; `make bench` records the screening-throughput trajectory
+# of the batched inference engine plus the paper's table/figure
+# reports as JSON.
+
+GO ?= go
+
+.PHONY: all build verify test vet bench bench-screen bench-report clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification: build, vet, full test suite.
+verify: build vet test
+
+# Screening-engine throughput: batched inference vs the per-sample
+# baseline (see internal/screen/bench_test.go).
+bench-screen:
+	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkRunJob' -benchtime 2s | tee bench_screen.txt
+
+# Paper tables and figures as machine-readable JSON (smoke budget;
+# pass FULL=1 for the full budget).
+bench-report:
+	$(GO) run ./cmd/benchreport $(if $(FULL),-full) -json > bench_report.json
+	@echo "wrote bench_report.json"
+
+bench: bench-screen bench-report
+
+clean:
+	rm -f bench_screen.txt bench_report.json

@@ -1,12 +1,16 @@
 // Command benchreport regenerates the paper's tables and figures as
 // text reports. With no flags it runs every experiment; -exp selects
-// one.
+// one; -json emits a machine-readable array of {experiment, text}
+// records so the Makefile's bench target can archive the perf
+// trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"deepfusion/internal/experiments"
@@ -17,6 +21,7 @@ func main() {
 	log.SetPrefix("benchreport: ")
 	exp := flag.String("exp", "all", "experiment: fig1|table1|table2|table3|table4|table5|table6|table7|table8|fig2|fig4|fig5|fig6|fig7|hitrate|all")
 	full := flag.Bool("full", false, "use the full benchmark budget (minutes) instead of the smoke budget")
+	asJSON := flag.Bool("json", false, "emit a JSON array of {experiment, text} records instead of plain text")
 	flag.Parse()
 
 	s := experiments.Smoke
@@ -45,14 +50,30 @@ func main() {
 	}
 	want := strings.ToLower(*exp)
 	found := false
+	type record struct {
+		Experiment string `json:"experiment"`
+		Text       string `json:"text"`
+	}
+	var records []record
 	for _, r := range runners {
 		if want != "all" && r.name != want {
 			continue
 		}
 		found = true
-		fmt.Println(r.run())
+		if *asJSON {
+			records = append(records, record{Experiment: r.name, Text: r.run()})
+		} else {
+			fmt.Println(r.run())
+		}
 	}
 	if !found {
 		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -5,11 +5,12 @@
 // It exposes the screening-facing surface of the system: the four
 // SARS-CoV-2 binding sites, the four compound libraries, training of
 // the 3D-CNN / SG-CNN / Fusion models on a synthetic PDBbind corpus,
-// and the distributed high-throughput screening pipeline. The
-// internal packages hold the substrates (chemistry, docking, MM/GBSA,
-// PB2 hyper-parameter optimization, cluster simulation); see DESIGN.md
-// for the full inventory and EXPERIMENTS.md for the paper-vs-measured
-// record of every table and figure.
+// and the distributed high-throughput screening pipeline with its
+// batched inference engine. The internal packages hold the substrates
+// (chemistry, docking, MM/GBSA, PB2 hyper-parameter optimization,
+// cluster simulation); see DESIGN.md for the full inventory. The
+// paper-vs-measured record of every table and figure is regenerated
+// by cmd/benchreport (`make bench-report`).
 package deepfusion
 
 import (

@@ -1,0 +1,3 @@
+module deepfusion
+
+go 1.24.0

@@ -71,6 +71,16 @@ func NewCNN3D(cfg CNN3DConfig, seed int64) *CNN3D {
 	return m
 }
 
+// SetDirectConv switches every convolution stage between the lowered
+// im2col/GEMM path (default) and the direct reference loops. The
+// screening throughput benchmarks use it to measure the batched
+// engine against the seed's per-sample baseline.
+func (m *CNN3D) SetDirectConv(direct bool) {
+	for _, c := range []*nn.Conv3D{m.conv1, m.conv2, m.conv3, m.conv4} {
+		c.Direct = direct
+	}
+}
+
 // Params returns all trainable parameters.
 func (m *CNN3D) Params() []*nn.Param {
 	ps := append([]*nn.Param{}, m.conv1.Params()...)

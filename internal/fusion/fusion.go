@@ -14,21 +14,14 @@ type LateFusion struct {
 	SG  *SGCNN
 }
 
-// Predict evaluates one sample.
+// Predict evaluates one sample (the B=1 case of PredictBatch).
 func (l *LateFusion) Predict(s *Sample) float64 {
-	x := stackVoxels([]*Sample{s}, nil)
-	cnnPred, _ := l.CNN.Forward(x, false)
-	sgPred, _ := l.SG.Forward(s.Graph, false)
-	return (cnnPred.Data[0] + sgPred.Data[0]) / 2
+	return l.PredictBatch([]*Sample{s})[0]
 }
 
-// PredictAll evaluates many samples.
+// PredictAll evaluates many samples through the batched engine.
 func (l *LateFusion) PredictAll(samples []*Sample) []float64 {
-	out := make([]float64, len(samples))
-	for i, s := range samples {
-		out[i] = l.Predict(s)
-	}
-	return out
+	return chunked(samples, l.PredictBatch)
 }
 
 // Fusion is the Mid-level / Coherent Fusion model: latent vectors from
@@ -122,29 +115,42 @@ func (f *Fusion) Params() []*nn.Param {
 }
 
 // forward evaluates one sample, returning the prediction ([1, 1]).
-// When train is true, dropout is active in the fusion stack; the heads
-// run in training mode only under Coherent Fusion (frozen heads stay
-// deterministic).
+// It is the B=1 case of forwardBatch.
 func (f *Fusion) forward(s *Sample, train bool, rng *rand.Rand) *tensor.Tensor {
+	return f.forwardBatch([]*Sample{s}, train, rng)
+}
+
+// forwardBatch evaluates a batch of samples, returning the prediction
+// tensor ([B, 1]). Voxels stack into one [B, C, G, G, G] head input
+// and the graphs run as a disjoint union, so every layer sees a real
+// batch dimension. When train is true, dropout is active in the
+// fusion stack; the heads run in training mode only under Coherent
+// Fusion (frozen heads stay deterministic).
+func (f *Fusion) forwardBatch(samples []*Sample, train bool, rng *rand.Rand) *tensor.Tensor {
 	headTrain := train && f.Cfg.Coherent
 	var vox *tensor.Tensor
 	if headTrain && rng != nil {
-		vox = stackVoxels([]*Sample{s}, rng)
+		vox = stackVoxels(samples, rng)
 	} else {
-		vox = stackVoxels([]*Sample{s}, nil)
+		vox = stackVoxels(samples, nil)
 	}
 	_, cnnLat := f.CNN.Forward(vox, headTrain)
-	_, sgLat := f.SG.Forward(s.Graph, headTrain)
+	_, sgLat := f.SG.ForwardBatch(sampleGraphs(samples), headTrain)
 
-	concat := tensor.New(1, f.concatWidth)
-	copy(concat.Data[:f.cnnLatW], cnnLat.Data)
-	copy(concat.Data[f.cnnLatW:f.cnnLatW+f.sgLatW], sgLat.Data)
+	b := len(samples)
+	concat := tensor.New(b, f.concatWidth)
+	for i := 0; i < b; i++ {
+		copy(concat.Row(i)[:f.cnnLatW], cnnLat.Row(i))
+		copy(concat.Row(i)[f.cnnLatW:f.cnnLatW+f.sgLatW], sgLat.Row(i))
+	}
 	if f.msCNN != nil {
 		mc := f.msActC.Forward(f.msCNN.Forward(cnnLat, train), train)
 		ms := f.msActS.Forward(f.msSG.Forward(sgLat, train), train)
 		off := f.cnnLatW + f.sgLatW
-		copy(concat.Data[off:off+f.msW], mc.Data)
-		copy(concat.Data[off+f.msW:], ms.Data)
+		for i := 0; i < b; i++ {
+			copy(concat.Row(i)[off:off+f.msW], mc.Row(i))
+			copy(concat.Row(i)[off+f.msW:], ms.Row(i))
+		}
 	}
 	h := concat
 	for i, l := range f.layers {
@@ -162,8 +168,9 @@ func (f *Fusion) forward(s *Sample, train bool, rng *rand.Rand) *tensor.Tensor {
 	return f.out.Forward(h, train)
 }
 
-// backward propagates the prediction gradient through the fusion stack
-// and, under Coherent Fusion, into both heads.
+// backward propagates the prediction gradient ([B, 1], matching the
+// most recent forwardBatch) through the fusion stack and, under
+// Coherent Fusion, into both heads.
 func (f *Fusion) backward(dpred *tensor.Tensor) {
 	g := f.out.Backward(dpred)
 	for i := len(f.layers) - 1; i >= 0; i-- {
@@ -179,13 +186,22 @@ func (f *Fusion) backward(dpred *tensor.Tensor) {
 		}
 		g = gd
 	}
-	// Split concat gradient.
-	dcnnLat := tensor.FromSlice(append([]float64(nil), g.Data[:f.cnnLatW]...), 1, f.cnnLatW)
-	dsgLat := tensor.FromSlice(append([]float64(nil), g.Data[f.cnnLatW:f.cnnLatW+f.sgLatW]...), 1, f.sgLatW)
+	// Split the concat gradient row-wise into the head latents.
+	b := g.Dim(0)
+	dcnnLat := tensor.New(b, f.cnnLatW)
+	dsgLat := tensor.New(b, f.sgLatW)
+	for i := 0; i < b; i++ {
+		copy(dcnnLat.Row(i), g.Row(i)[:f.cnnLatW])
+		copy(dsgLat.Row(i), g.Row(i)[f.cnnLatW:f.cnnLatW+f.sgLatW])
+	}
 	if f.msCNN != nil {
 		off := f.cnnLatW + f.sgLatW
-		dmc := tensor.FromSlice(append([]float64(nil), g.Data[off:off+f.msW]...), 1, f.msW)
-		dms := tensor.FromSlice(append([]float64(nil), g.Data[off+f.msW:]...), 1, f.msW)
+		dmc := tensor.New(b, f.msW)
+		dms := tensor.New(b, f.msW)
+		for i := 0; i < b; i++ {
+			copy(dmc.Row(i), g.Row(i)[off:off+f.msW])
+			copy(dms.Row(i), g.Row(i)[off+f.msW:])
+		}
 		dcnnLat.AddInPlace(f.msCNN.Backward(f.msActC.Backward(dmc)))
 		dsgLat.AddInPlace(f.msSG.Backward(f.msActS.Backward(dms)))
 	}
@@ -205,19 +221,17 @@ func residualApplied(f *Fusion, i int) bool {
 	return inW == f.Cfg.DenseNodes
 }
 
-// Predict evaluates one sample in inference mode.
+// Predict evaluates one sample in inference mode (the B=1 case of
+// PredictBatch).
 func (f *Fusion) Predict(s *Sample) float64 {
-	return f.forward(s, false, nil).Data[0]
+	return f.PredictBatch([]*Sample{s})[0]
 }
 
-// PredictAll evaluates samples in parallel-safe sequence. (Each Fusion
-// instance holds forward caches, so concurrent Predict calls on one
-// instance are not safe; the screening pipeline gives each rank its own
-// replica, as the paper loads one model instance per GPU.)
+// PredictAll evaluates samples through the batched engine. (Each
+// Fusion instance holds forward caches, so concurrent PredictBatch
+// calls on one instance are not safe; the screening pipeline gives
+// each rank its own replica, as the paper loads one model instance per
+// GPU.)
 func (f *Fusion) PredictAll(samples []*Sample) []float64 {
-	out := make([]float64, len(samples))
-	for i, s := range samples {
-		out[i] = f.Predict(s)
-	}
-	return out
+	return chunked(samples, f.PredictBatch)
 }

@@ -77,21 +77,34 @@ func (m *SGCNN) Params() []*nn.Param {
 }
 
 // Forward evaluates one complex graph, returning the prediction
-// ([1, 1]) and the latent gather vector ([1, NonCovGatherWidth]).
+// ([1, 1]) and the latent gather vector ([1, NonCovGatherWidth]). It
+// is the B=1 case of ForwardBatch.
 func (m *SGCNN) Forward(g *featurize.Graph, train bool) (pred, latent *tensor.Tensor) {
-	h := m.proj.Forward(g.Nodes)
-	h = m.covConv.Forward(h, g.Covalent)
+	return m.ForwardBatch([]*featurize.Graph{g}, train)
+}
+
+// ForwardBatch evaluates a batch of complex graphs in one pass over
+// their disjoint union: every message-passing GEMM runs once on the
+// stacked node rows, and the gather pools each graph's segment into
+// its own latent row. Returns the predictions ([B, 1]) and latent
+// vectors ([B, NonCovGatherWidth]). Per-row math matches Forward
+// exactly because no edge crosses a segment boundary.
+func (m *SGCNN) ForwardBatch(gs []*featurize.Graph, train bool) (pred, latent *tensor.Tensor) {
+	nodes, cov, nc, segs := unionGraphs(gs)
+	h := m.proj.Forward(nodes)
+	h = m.covConv.Forward(h, cov)
 	h = m.bridge.Forward(h)
-	h = m.ncConv.Forward(h, g.NonCov)
-	latent = m.gather.Forward(h, g.Nodes, g.NumLigand)
+	h = m.ncConv.Forward(h, nc)
+	latent = m.gather.ForwardSegments(h, nodes, segs)
 	y := m.act1.Forward(m.d1.Forward(latent, train), train)
 	y = m.act2.Forward(m.d2.Forward(y, train), train)
 	pred = m.out.Forward(y, train)
 	return pred, latent
 }
 
-// Backward propagates gradients from the prediction (dpred, [1, 1])
-// and/or the latent vector (dlatent, [1, W]); either may be nil.
+// Backward propagates gradients from the prediction (dpred, [B, 1])
+// and/or the latent vector (dlatent, [B, W]) of the most recent
+// forward pass; either may be nil.
 func (m *SGCNN) Backward(dpred, dlatent *tensor.Tensor) {
 	var g *tensor.Tensor
 	if dpred != nil {

@@ -97,28 +97,26 @@ func continueCNN3D(m *CNN3D, cfg CNN3DConfig, train, val []*Sample, seed int64, 
 
 // EvalCNN3D returns the MSE of the model on samples.
 func EvalCNN3D(m *CNN3D, samples []*Sample) float64 {
+	return mseOf(m.PredictAll(samples), samples)
+}
+
+// PredictCNN3D evaluates the model on samples through the batched
+// engine.
+func PredictCNN3D(m *CNN3D, samples []*Sample) []float64 {
+	return m.PredictAll(samples)
+}
+
+// mseOf folds batched predictions into a mean squared error.
+func mseOf(preds []float64, samples []*Sample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	se := 0.0
-	for _, s := range samples {
-		x := stackVoxels([]*Sample{s}, nil)
-		pred, _ := m.Forward(x, false)
-		d := pred.Data[0] - s.Label
+	for i, s := range samples {
+		d := preds[i] - s.Label
 		se += d * d
 	}
 	return se / float64(len(samples))
-}
-
-// PredictCNN3D evaluates the model on samples.
-func PredictCNN3D(m *CNN3D, samples []*Sample) []float64 {
-	out := make([]float64, len(samples))
-	for i, s := range samples {
-		x := stackVoxels([]*Sample{s}, nil)
-		pred, _ := m.Forward(x, false)
-		out[i] = pred.Data[0]
-	}
-	return out
 }
 
 // TrainSGCNN trains an SG-CNN. Graphs vary in size, so samples are
@@ -147,18 +145,18 @@ func ContinueSGCNN(m *SGCNN, cfg SGCNNConfig, train, val []*Sample, seed int64) 
 			if hi > len(idx) {
 				hi = len(idx)
 			}
-			batchLoss := 0.0
+			batch := make([]*Sample, 0, hi-lo)
 			for _, i := range idx[lo:hi] {
-				s := train[i]
-				pred, _ := m.Forward(s.Graph, true)
-				y := tensor.FromSlice([]float64{s.Label}, 1, 1)
-				loss, dpred := nn.MSELoss(pred, y)
-				dpred.Scale(1 / float64(hi-lo))
-				m.Backward(dpred, nil)
-				batchLoss += loss
+				batch = append(batch, train[i])
 			}
+			// One disjoint-union forward/backward per mini-batch; the
+			// batch-mean MSE gradient matches the former per-sample
+			// accumulation with 1/|batch| scaling.
+			pred, _ := m.ForwardBatch(sampleGraphs(batch), true)
+			loss, dpred := nn.MSELoss(pred, labelTensor(batch))
+			m.Backward(dpred, nil)
 			opt.Step()
-			epochLoss += batchLoss / float64(hi-lo)
+			epochLoss += loss
 			nb++
 		}
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(nb))
@@ -177,26 +175,13 @@ func ContinueSGCNN(m *SGCNN, cfg SGCNNConfig, train, val []*Sample, seed int64) 
 
 // EvalSGCNN returns the MSE of the model on samples.
 func EvalSGCNN(m *SGCNN, samples []*Sample) float64 {
-	if len(samples) == 0 {
-		return 0
-	}
-	se := 0.0
-	for _, s := range samples {
-		pred, _ := m.Forward(s.Graph, false)
-		d := pred.Data[0] - s.Label
-		se += d * d
-	}
-	return se / float64(len(samples))
+	return mseOf(m.PredictAll(samples), samples)
 }
 
-// PredictSGCNN evaluates the model on samples.
+// PredictSGCNN evaluates the model on samples through the batched
+// engine.
 func PredictSGCNN(m *SGCNN, samples []*Sample) []float64 {
-	out := make([]float64, len(samples))
-	for i, s := range samples {
-		pred, _ := m.Forward(s.Graph, false)
-		out[i] = pred.Data[0]
-	}
-	return out
+	return m.PredictAll(samples)
 }
 
 // TrainFusion trains the fusion stack (and, when cfg.Coherent, the
@@ -227,18 +212,15 @@ func TrainFusion(f *Fusion, train, val []*Sample, seed int64) *History {
 			if hi > len(idx) {
 				hi = len(idx)
 			}
-			batchLoss := 0.0
+			batch := make([]*Sample, 0, hi-lo)
 			for _, i := range idx[lo:hi] {
-				s := train[i]
-				pred := f.forward(s, true, rng)
-				y := tensor.FromSlice([]float64{s.Label}, 1, 1)
-				loss, dpred := nn.MSELoss(pred, y)
-				dpred.Scale(1 / float64(hi-lo))
-				f.backward(dpred)
-				batchLoss += loss
+				batch = append(batch, train[i])
 			}
+			pred := f.forwardBatch(batch, true, rng)
+			loss, dpred := nn.MSELoss(pred, labelTensor(batch))
+			f.backward(dpred)
 			opt.Step()
-			epochLoss += batchLoss / float64(hi-lo)
+			epochLoss += loss
 			nb++
 		}
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(nb))
@@ -257,15 +239,7 @@ func TrainFusion(f *Fusion, train, val []*Sample, seed int64) *History {
 
 // EvalFusion returns the MSE of the fusion model on samples.
 func EvalFusion(f *Fusion, samples []*Sample) float64 {
-	if len(samples) == 0 {
-		return 0
-	}
-	se := 0.0
-	for _, s := range samples {
-		d := f.Predict(s) - s.Label
-		se += d * d
-	}
-	return se / float64(len(samples))
+	return mseOf(f.PredictAll(samples), samples)
 }
 
 func indices(n int) []int {

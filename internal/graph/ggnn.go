@@ -163,12 +163,22 @@ func (g *GGConv) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
+// Segment addresses one graph inside a disjoint-union node batch: the
+// row where its nodes start and how many of those rows are ligand
+// atoms (ligand nodes lead each graph's block, as in featurize.Graph).
+type Segment struct {
+	Start     int
+	NumLigand int
+}
+
 // Gather is the PotentialNet-style gated pooling over ligand nodes:
 //
 //	gate_i = sigmoid([h_i, x_i] Wg + bg)
 //	out    = sum_{i < numLigand} gate_i .* tanh(h_i Wo + bo)
 //
 // producing a fixed-width graph embedding from variable-size graphs.
+// ForwardSegments pools a whole disjoint-union batch in one pass,
+// returning one embedding row per segment; Forward is its B=1 case.
 type Gather struct {
 	HIn, XIn, Out int
 
@@ -179,7 +189,7 @@ type Gather struct {
 
 	lastH, lastX       *tensor.Tensor
 	lastGate, lastTanh *tensor.Tensor
-	lastNumLigand      int
+	lastSegs           []Segment
 }
 
 // NewGather constructs a gather stage reducing [N, hIn] node embeddings
@@ -205,65 +215,102 @@ func (ga *Gather) Params() []*nn.Param {
 // Forward pools the first numLigand rows of h (raw features x aligned
 // row-wise) into a [1, Out] graph embedding.
 func (ga *Gather) Forward(h, x *tensor.Tensor, numLigand int) *tensor.Tensor {
-	ga.lastH, ga.lastX, ga.lastNumLigand = h, x, numLigand
-	hx := tensor.New(numLigand, ga.HIn+ga.XIn)
-	for i := 0; i < numLigand; i++ {
-		copy(hx.Row(i)[:ga.HIn], h.Row(i))
-		copy(hx.Row(i)[ga.HIn:], x.Row(i))
+	return ga.ForwardSegments(h, x, []Segment{{Start: 0, NumLigand: numLigand}})
+}
+
+// ForwardSegments pools each segment's ligand rows of the
+// disjoint-union batch h (raw features x aligned row-wise) into one
+// embedding row per segment, returning [len(segs), Out]. Per-row math
+// is identical to Forward, so batched and single-graph pooling agree
+// bitwise.
+func (ga *Gather) ForwardSegments(h, x *tensor.Tensor, segs []Segment) *tensor.Tensor {
+	ga.lastH, ga.lastX = h, x
+	ga.lastSegs = append(ga.lastSegs[:0], segs...)
+	nl := 0
+	for _, s := range segs {
+		nl += s.NumLigand
+	}
+	hx := tensor.New(nl, ga.HIn+ga.XIn)
+	hl := tensor.New(nl, ga.HIn)
+	r := 0
+	for _, s := range segs {
+		for i := 0; i < s.NumLigand; i++ {
+			copy(hx.Row(r)[:ga.HIn], h.Row(s.Start+i))
+			copy(hx.Row(r)[ga.HIn:], x.Row(s.Start+i))
+			copy(hl.Row(r), h.Row(s.Start+i))
+			r++
+		}
 	}
 	gate := tensor.MatMulTransB(hx, ga.Wg.Value)
-	hl := tensor.New(numLigand, ga.HIn)
-	for i := 0; i < numLigand; i++ {
-		copy(hl.Row(i), h.Row(i))
-	}
 	th := tensor.MatMulTransB(hl, ga.Wo.Value)
-	out := tensor.New(1, ga.Out)
-	for i := 0; i < numLigand; i++ {
-		gr, tr := gate.Row(i), th.Row(i)
-		for j := 0; j < ga.Out; j++ {
-			gr[j] = sigmoid(gr[j] + ga.Bg.Value.Data[j])
-			tr[j] = tanh(tr[j] + ga.Bo.Value.Data[j])
-			out.Data[j] += gr[j] * tr[j]
+	out := tensor.New(len(segs), ga.Out)
+	r = 0
+	for b, s := range segs {
+		dst := out.Row(b)
+		for i := 0; i < s.NumLigand; i++ {
+			gr, tr := gate.Row(r), th.Row(r)
+			for j := 0; j < ga.Out; j++ {
+				gr[j] = sigmoid(gr[j] + ga.Bg.Value.Data[j])
+				tr[j] = tanh(tr[j] + ga.Bo.Value.Data[j])
+				dst[j] += gr[j] * tr[j]
+			}
+			r++
 		}
 	}
 	ga.lastGate, ga.lastTanh = gate, th
 	return out
 }
 
-// Backward propagates grad ([1, Out]) to the node embeddings,
-// returning d(h) of shape [N, HIn] (zero rows for protein nodes).
+// Backward propagates grad ([B, Out], one row per segment of the last
+// ForwardSegments call) to the node embeddings, returning d(h) of
+// shape [N, HIn] (zero rows for protein nodes).
 func (ga *Gather) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	nl := ga.lastNumLigand
+	nl := 0
+	for _, s := range ga.lastSegs {
+		nl += s.NumLigand
+	}
 	dgate := tensor.New(nl, ga.Out)
 	dtanh := tensor.New(nl, ga.Out)
-	for i := 0; i < nl; i++ {
-		gr, tr := ga.lastGate.Row(i), ga.lastTanh.Row(i)
-		dgr, dtr := dgate.Row(i), dtanh.Row(i)
-		for j := 0; j < ga.Out; j++ {
-			gv := grad.Data[j]
-			dgr[j] = gv * tr[j] * gr[j] * (1 - gr[j])
-			dtr[j] = gv * gr[j] * (1 - tr[j]*tr[j])
-			ga.Bg.Grad.Data[j] += dgr[j]
-			ga.Bo.Grad.Data[j] += dtr[j]
+	r := 0
+	for b, s := range ga.lastSegs {
+		gv := grad.Row(b)
+		for i := 0; i < s.NumLigand; i++ {
+			gr, tr := ga.lastGate.Row(r), ga.lastTanh.Row(r)
+			dgr, dtr := dgate.Row(r), dtanh.Row(r)
+			for j := 0; j < ga.Out; j++ {
+				dgr[j] = gv[j] * tr[j] * gr[j] * (1 - gr[j])
+				dtr[j] = gv[j] * gr[j] * (1 - tr[j]*tr[j])
+				ga.Bg.Grad.Data[j] += dgr[j]
+				ga.Bo.Grad.Data[j] += dtr[j]
+			}
+			r++
 		}
 	}
 	hx := tensor.New(nl, ga.HIn+ga.XIn)
 	hl := tensor.New(nl, ga.HIn)
-	for i := 0; i < nl; i++ {
-		copy(hx.Row(i)[:ga.HIn], ga.lastH.Row(i))
-		copy(hx.Row(i)[ga.HIn:], ga.lastX.Row(i))
-		copy(hl.Row(i), ga.lastH.Row(i))
+	r = 0
+	for _, s := range ga.lastSegs {
+		for i := 0; i < s.NumLigand; i++ {
+			copy(hx.Row(r)[:ga.HIn], ga.lastH.Row(s.Start+i))
+			copy(hx.Row(r)[ga.HIn:], ga.lastX.Row(s.Start+i))
+			copy(hl.Row(r), ga.lastH.Row(s.Start+i))
+			r++
+		}
 	}
 	ga.Wg.Grad.AddInPlace(tensor.MatMulTransA(dgate, hx))
 	ga.Wo.Grad.AddInPlace(tensor.MatMulTransA(dtanh, hl))
 	dhx := tensor.MatMul(dgate, ga.Wg.Value) // [nl, HIn+XIn]
 	dhl := tensor.MatMul(dtanh, ga.Wo.Value) // [nl, HIn]
 	dh := tensor.New(ga.lastH.Shape...)
-	for i := 0; i < nl; i++ {
-		dst := dh.Row(i)
-		a, b := dhx.Row(i), dhl.Row(i)
-		for j := 0; j < ga.HIn; j++ {
-			dst[j] = a[j] + b[j]
+	r = 0
+	for _, s := range ga.lastSegs {
+		for i := 0; i < s.NumLigand; i++ {
+			dst := dh.Row(s.Start + i)
+			a, b := dhx.Row(r), dhl.Row(r)
+			for j := 0; j < ga.HIn; j++ {
+				dst[j] = a[j] + b[j]
+			}
+			r++
 		}
 	}
 	return dh

@@ -1,0 +1,147 @@
+package screen
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/target"
+)
+
+// The screening throughput benchmarks measure the tentpole of the
+// batched inference engine: RunJob at the production BatchSize against
+// the seed's per-sample baseline (BatchSize 1 with the direct
+// reference convolution — exactly the pre-batching engine).
+//
+//	go test ./internal/screen/ -run xxx -bench BenchmarkRunJob -benchtime 5s
+//
+// reports poses/sec for both; the acceptance bar is >= 2x.
+
+// benchFusion builds an untrained screening-default model (default
+// voxel grid, default SG-CNN widths — the production configuration,
+// not the test-sized one).
+func benchFusion(b *testing.B) *fusion.Fusion {
+	b.Helper()
+	cnnCfg := fusion.DefaultCNN3DConfig()
+	sgCfg := fusion.DefaultSGCNNConfig()
+	cnn := fusion.NewCNN3D(cnnCfg, 1)
+	sg := fusion.NewSGCNN(sgCfg, 2)
+	return fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, 3)
+}
+
+func benchPoses(b *testing.B, n int) []Pose {
+	b.Helper()
+	var poses []Pose
+	for i := 0; len(poses) < n; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		target.Protease1.PlaceLigand(m)
+		poses = append(poses, Pose{CompoundID: m.Name, PoseRank: 0, Mol: m, VinaScore: -6})
+	}
+	return poses
+}
+
+func runJobBench(b *testing.B, batchSize int, direct bool) {
+	f := benchFusion(b)
+	f.CNN.SetDirectConv(direct)
+	poses := benchPoses(b, 24)
+	o := DefaultJobOptions()
+	o.Ranks = 2
+	o.LoadersPerRank = 2
+	o.BatchSize = batchSize
+	var scored int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds, err := RunJob(f, target.Protease1, poses, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		atomic.AddInt64(&scored, int64(len(preds)))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(scored)/b.Elapsed().Seconds(), "poses/s")
+}
+
+// BenchmarkRunJobPerSample is the seed baseline: one pose per
+// inference call, direct convolution loops.
+func BenchmarkRunJobPerSample(b *testing.B) { runJobBench(b, 1, true) }
+
+// BenchmarkRunJobBatchSize1 isolates the batch-dimension win: the
+// lowered engine still scoring one pose at a time.
+func BenchmarkRunJobBatchSize1(b *testing.B) { runJobBench(b, 1, false) }
+
+// BenchmarkRunJobBatched is the production path: BatchSize 8 on the
+// lowered batched engine.
+func BenchmarkRunJobBatched(b *testing.B) { runJobBench(b, 8, false) }
+
+// BenchmarkRunJobBatched56 is the paper's per-GPU maximum batch.
+func BenchmarkRunJobBatched56(b *testing.B) {
+	f := benchFusion(b)
+	poses := benchPoses(b, 56)
+	o := DefaultJobOptions()
+	o.Ranks = 1
+	o.LoadersPerRank = 4
+	o.BatchSize = 56
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunJob(f, target.Protease1, poses, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBatchedBeatsPerSample is the acceptance guard for the batched
+// engine: scoring the same job must be at least 2x faster than the
+// seed's per-sample baseline. Run opt-in style via -short skip
+// inversion is avoided; this is cheap enough (~seconds) to keep in
+// tier 1.
+func TestBatchedBeatsPerSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	f := benchFusion(&testing.B{})
+	poses := func(n int) []Pose {
+		var ps []Pose
+		for i := 0; len(ps) < n; i++ {
+			m, err := libgen.ZINC.Mol(i)
+			if err != nil {
+				continue
+			}
+			target.Protease1.PlaceLigand(m)
+			ps = append(ps, Pose{CompoundID: m.Name, PoseRank: 0, Mol: m, VinaScore: -6})
+		}
+		return ps
+	}(16)
+	o := DefaultJobOptions()
+	o.Ranks = 2
+	o.LoadersPerRank = 2
+
+	timeJob := func(batchSize int, direct bool) float64 {
+		f.CNN.SetDirectConv(direct)
+		defer f.CNN.SetDirectConv(false)
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			if _, err := RunJob(f, target.Protease1, poses, o); err != nil {
+				t.Fatal(err)
+			}
+			if el := time.Since(start).Seconds(); rep == 0 || el < best {
+				best = el
+			}
+		}
+		return best
+	}
+	o.BatchSize = 1
+	baseline := timeJob(1, true)
+	o.BatchSize = 8
+	batched := timeJob(8, false)
+	t.Logf("per-sample baseline %.3fs, batched %.3fs, speedup %.2fx", baseline, batched, baseline/batched)
+	if batched*2 > baseline {
+		t.Fatalf("batched engine %.3fs not 2x faster than per-sample baseline %.3fs (%.2fx)",
+			batched, baseline, baseline/batched)
+	}
+}

@@ -11,6 +11,7 @@ package screen
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 
@@ -72,21 +73,30 @@ func DefaultJobOptions() JobOptions {
 // ErrJobFailed marks an injected job failure.
 var ErrJobFailed = fmt.Errorf("screen: job failed (injected fault)")
 
-// RunJob scores all poses against the target with the Fusion model.
-// Each rank gets a deep model replica and its index-strided share of
-// the poses; loader goroutines featurize ahead of the inference loop;
-// results are gathered across ranks and returned in input order.
-func RunJob(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) ([]Prediction, error) {
-	if o.Ranks < 1 {
-		return nil, fmt.Errorf("screen: need at least 1 rank")
+// injectFailure rolls the job-failure dice shared by the gathered and
+// streaming paths (bad metadata, node failure, broken pipes — the
+// paper's observed modes).
+func injectFailure(o JobOptions) bool {
+	if o.FailureProb <= 0 {
+		return false
 	}
-	if o.FailureProb > 0 {
-		rng := rand.New(rand.NewSource(o.Seed))
-		if rng.Float64() < o.FailureProb {
-			return nil, ErrJobFailed
-		}
+	rng := rand.New(rand.NewSource(o.Seed))
+	return rng.Float64() < o.FailureProb
+}
+
+// runRanks is the batched scoring engine behind RunJob and
+// RunJobStreaming. Each rank gets a deep model replica and its
+// index-strided share of the poses; loader goroutines featurize ahead
+// of inference; the rank accumulates featurized samples until a full
+// batch forms and scores it with one PredictBatch call (the paper's
+// up-to-56-poses-per-GPU batches). emit is called once per pose, from
+// the scoring rank's goroutine, and must be safe for concurrent calls
+// across ranks. runRanks returns when every rank has drained.
+func runRanks(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions, emit func(idx int, pr Prediction)) {
+	bs := o.BatchSize
+	if bs < 1 {
+		bs = 1
 	}
-	out := make([]Prediction, len(poses))
 	var wg sync.WaitGroup
 	for rank := 0; rank < o.Ranks; rank++ {
 		wg.Add(1)
@@ -106,7 +116,7 @@ func RunJob(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) ([]P
 				sample *fusion.Sample
 			}
 			work := make(chan int, len(mine))
-			ready := make(chan loaded, o.BatchSize*2+1)
+			ready := make(chan loaded, bs*2+1)
 			var loaders sync.WaitGroup
 			nLoaders := o.LoadersPerRank
 			if nLoaders < 1 {
@@ -131,23 +141,54 @@ func RunJob(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) ([]P
 				loaders.Wait()
 				close(ready)
 			}()
-			// Inference loop: score as batches stream in.
+			// Batched inference loop: accumulate featurized samples up
+			// to the batch size, score them in one forward pass, emit.
+			idxs := make([]int, 0, bs)
+			batch := make([]*fusion.Sample, 0, bs)
+			flush := func() {
+				if len(batch) == 0 {
+					return
+				}
+				preds := replica.PredictBatch(batch)
+				for j, idx := range idxs {
+					ps := poses[idx]
+					emit(idx, Prediction{
+						CompoundID: ps.CompoundID,
+						Target:     p.Name,
+						PoseRank:   ps.PoseRank,
+						Fusion:     preds[j],
+						Vina:       ps.VinaScore,
+						MMGBSA:     mmgbsa.Rescore(p, ps.Mol),
+						Rank:       rank,
+					})
+				}
+				idxs = idxs[:0]
+				batch = batch[:0]
+			}
 			for ld := range ready {
-				ps := poses[ld.idx]
-				pred := replica.Predict(ld.sample)
-				out[ld.idx] = Prediction{
-					CompoundID: ps.CompoundID,
-					Target:     p.Name,
-					PoseRank:   ps.PoseRank,
-					Fusion:     pred,
-					Vina:       ps.VinaScore,
-					MMGBSA:     mmgbsa.Rescore(p, ps.Mol),
-					Rank:       rank,
+				idxs = append(idxs, ld.idx)
+				batch = append(batch, ld.sample)
+				if len(batch) == bs {
+					flush()
 				}
 			}
+			flush()
 		}(rank)
 	}
 	wg.Wait() // the paper's allgather barrier
+}
+
+// RunJob scores all poses against the target with the Fusion model on
+// the batched engine, gathering results across ranks into input order.
+func RunJob(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) ([]Prediction, error) {
+	if o.Ranks < 1 {
+		return nil, fmt.Errorf("screen: need at least 1 rank")
+	}
+	if injectFailure(o) {
+		return nil, ErrJobFailed
+	}
+	out := make([]Prediction, len(poses))
+	runRanks(f, p, poses, o, func(idx int, pr Prediction) { out[idx] = pr })
 	return out, nil
 }
 
@@ -188,7 +229,10 @@ func DockCompounds(p *target.Pocket, mols []*chem.Mol, maxPoses int, seed int64)
 			defer wg.Done()
 			defer func() { <-sem }()
 			so := so
-			so.Seed = seed ^ int64(len(m.Name))
+			// Per-compound seed from a name hash: XOR-ing with the name
+			// length (the old scheme) collided for any two compounds with
+			// same-length names, replaying identical MC trajectories.
+			so.Seed = seed ^ int64(compoundHash(m.Name))
 			ps := dock.Dock(p, m, so)
 			mu.Lock()
 			defer mu.Unlock()
@@ -205,11 +249,28 @@ func DockCompounds(p *target.Pocket, mols []*chem.Mol, maxPoses int, seed int64)
 	return poses, skipped
 }
 
+// compoundHash is the stable FNV-1a identity used for per-compound
+// seeding and shard assignment.
+func compoundHash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// ShardOf returns the shard a compound's poses are written to.
+func ShardOf(compoundID string, shards int) int {
+	if shards < 1 {
+		return 0
+	}
+	return int(compoundHash(compoundID) % uint64(shards))
+}
+
 // WriteShards distributes predictions across per-rank h5lite files,
 // mirroring the paper's parallel output stage where each rank writes
-// compounds assigned to the same files and directories. Shard layout:
-// root group "dock" / target / datasets ids, poses, fusion, vina,
-// mmgbsa.
+// compounds assigned to the same files and directories: sharding is
+// keyed by compound-ID hash, so every pose of a compound lands in the
+// same shard file. Shard layout: root group "dock" / target /
+// datasets ids, poses, fusion, vina, mmgbsa.
 func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 	if shards < 1 {
 		shards = 1
@@ -225,8 +286,8 @@ func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 		files[i] = h5lite.New()
 		byShard[i] = map[string]*cols{}
 	}
-	for i, pr := range preds {
-		s := i % shards
+	for _, pr := range preds {
+		s := ShardOf(pr.CompoundID, shards)
 		c, ok := byShard[s][pr.Target]
 		if !ok {
 			c = &cols{}

@@ -1,10 +1,9 @@
 package screen
 
 import (
-	"sync"
+	"fmt"
 
 	"deepfusion/internal/fusion"
-	"deepfusion/internal/mmgbsa"
 	"deepfusion/internal/target"
 )
 
@@ -12,47 +11,78 @@ import (
 // scoring architecture: "efficiency will be improved by creating a
 // separate, parallel process per rank to write results as they are
 // computed" — instead of holding every prediction until the job-end
-// allgather, each rank hands finished predictions to a dedicated
-// writer goroutine that emits them immediately.
+// allgather, each rank hands finished predictions to the output
+// channel as its batches complete.
 //
-// RunJobStreaming returns a channel that delivers predictions as they
-// are scored (in completion order, not input order) and a wait
-// function that blocks until the job drains and reports any injected
-// failure. A consumer that needs the original order can reassemble by
-// the Prediction's identifiers.
+// RunJobStreaming runs on the same batched engine as RunJob (per-rank
+// replicas, parallel data loaders, PredictBatch-sized inference
+// batches) and honors FailureProb identically: a failed job delivers
+// nothing and reports ErrJobFailed from the wait function.
+//
+// It returns a channel that delivers predictions as they are scored
+// (in completion order, not input order) and a wait function that
+// blocks until the job drains and reports any injected failure. A
+// consumer that needs the original order can reassemble by the
+// Prediction's identifiers.
 func RunJobStreaming(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) (<-chan Prediction, func() error) {
 	out := make(chan Prediction, o.Ranks*4+4)
 	errc := make(chan error, 1)
 	go func() {
 		defer close(out)
 		if o.Ranks < 1 {
+			errc <- fmt.Errorf("screen: need at least 1 rank")
+			return
+		}
+		if injectFailure(o) {
 			errc <- ErrJobFailed
 			return
 		}
-		var wg sync.WaitGroup
-		for rank := 0; rank < o.Ranks; rank++ {
-			wg.Add(1)
-			go func(rank int) {
-				defer wg.Done()
-				replica := f.Clone()
-				// Per-rank writer: predictions flow out as computed.
-				for i := rank; i < len(poses); i += o.Ranks {
-					ps := poses[i]
-					s := fusion.FeaturizeComplex(ps.CompoundID, p, ps.Mol, 0, o.Voxel, o.Graph)
-					out <- Prediction{
-						CompoundID: ps.CompoundID,
-						Target:     p.Name,
-						PoseRank:   ps.PoseRank,
-						Fusion:     replica.Predict(s),
-						Vina:       ps.VinaScore,
-						MMGBSA:     mmgbsa.Rescore(p, ps.Mol),
-						Rank:       rank,
-					}
-				}
-			}(rank)
-		}
-		wg.Wait()
+		runRanks(f, p, poses, o, func(_ int, pr Prediction) { out <- pr })
 		errc <- nil
 	}()
 	return out, func() error { return <-errc }
+}
+
+// RunJobStreamingWithRetry is the streaming analogue of
+// RunJobWithRetry: it resubmits a failed job with a fresh seed until
+// one succeeds or maxAttempts is exhausted. Failures are injected
+// before any pose is scored, so the output channel carries exactly the
+// successful attempt's predictions (no duplicates from failed runs).
+// The wait function reports how many attempts ran and the final error.
+func RunJobStreamingWithRetry(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions, maxAttempts int) (<-chan Prediction, func() (int, error)) {
+	out := make(chan Prediction, o.Ranks*4+4)
+	type result struct {
+		attempts int
+		err      error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		defer close(out)
+		if maxAttempts < 1 {
+			resc <- result{attempts: 0, err: fmt.Errorf("screen: streaming retry needs at least 1 attempt, got %d", maxAttempts)}
+			return
+		}
+		var lastErr error
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			ch, wait := RunJobStreaming(f, p, poses, o)
+			for pr := range ch {
+				out <- pr
+			}
+			if err := wait(); err == nil {
+				resc <- result{attempts: attempt + 1, err: nil}
+				return
+			} else {
+				lastErr = err
+			}
+			o.Seed++
+		}
+		resc <- result{
+			attempts: maxAttempts,
+			err:      fmt.Errorf("screen: streaming job failed after %d attempts: %w", maxAttempts, lastErr),
+		}
+	}()
+	return out, func() (int, error) {
+		r := <-resc
+		return r.attempts, r.err
+	}
 }

@@ -1,6 +1,7 @@
 package screen
 
 import (
+	"errors"
 	"testing"
 
 	"deepfusion/internal/target"
@@ -66,6 +67,90 @@ func TestStreamingMatchesBatch(t *testing.T) {
 
 func key(p Prediction) string {
 	return p.CompoundID + "#" + string(rune('0'+p.PoseRank))
+}
+
+func TestStreamingFailureInjection(t *testing.T) {
+	// The streaming path injects job failures exactly like RunJob: with
+	// FailureProb 1 nothing streams and the wait reports ErrJobFailed.
+	f := tinyFusion(t)
+	mols := testMols(t, 1)
+	poses, _ := DockCompounds(target.Spike1, mols, 1, 22)
+	o := tinyJobOptions()
+	o.FailureProb = 1.0
+	ch, wait := RunJobStreaming(f, target.Spike1, poses, o)
+	for range ch {
+		t.Fatal("failed job must stream nothing")
+	}
+	if err := wait(); !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("expected ErrJobFailed, got %v", err)
+	}
+}
+
+func TestStreamingRetryParity(t *testing.T) {
+	f := tinyFusion(t)
+	mols := testMols(t, 1)
+	poses, _ := DockCompounds(target.Spike1, mols, 1, 23)
+	o := tinyJobOptions()
+	// Certain failure: retries exhaust, nothing streams.
+	o.FailureProb = 1.0
+	ch, wait := RunJobStreamingWithRetry(f, target.Spike1, poses, o, 3)
+	for range ch {
+		t.Fatal("exhausted retries must stream nothing")
+	}
+	if attempts, err := wait(); err == nil || attempts != 3 {
+		t.Fatalf("retry should exhaust 3 attempts, got %d / %v", attempts, err)
+	}
+	// Moderate failure probability eventually succeeds and delivers
+	// every pose exactly once.
+	o.FailureProb = 0.5
+	o.Seed = 2
+	ch, wait = RunJobStreamingWithRetry(f, target.Spike1, poses, o, 20)
+	n := 0
+	for range ch {
+		n++
+	}
+	attempts, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(poses) {
+		t.Fatalf("streamed %d predictions, want %d", n, len(poses))
+	}
+	if attempts < 1 {
+		t.Fatal("attempts must be >= 1")
+	}
+}
+
+func TestStreamingRetryRejectsZeroAttempts(t *testing.T) {
+	f := tinyFusion(t)
+	o := tinyJobOptions()
+	ch, wait := RunJobStreamingWithRetry(f, target.Spike1, nil, o, 0)
+	for range ch {
+		t.Fatal("zero attempts must stream nothing")
+	}
+	if attempts, err := wait(); err == nil || attempts != 0 {
+		t.Fatalf("want (0, error), got (%d, %v)", attempts, err)
+	}
+}
+
+func TestStreamingHonorsBatchSizeOne(t *testing.T) {
+	// BatchSize clamps to 1 and still scores everything.
+	f := tinyFusion(t)
+	mols := testMols(t, 2)
+	poses, _ := DockCompounds(target.Spike2, mols, 2, 24)
+	o := tinyJobOptions()
+	o.BatchSize = 0
+	ch, wait := RunJobStreaming(f, target.Spike2, poses, o)
+	n := 0
+	for range ch {
+		n++
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(poses) {
+		t.Fatalf("streamed %d of %d", n, len(poses))
+	}
 }
 
 func TestStreamingZeroRanks(t *testing.T) {

@@ -1,0 +1,124 @@
+package target
+
+import (
+	"math"
+	"testing"
+
+	"deepfusion/internal/chem"
+)
+
+func testMol(t *testing.T, smiles string) *chem.Mol {
+	t.Helper()
+	m, err := chem.ParseSMILES(smiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Name = smiles
+	chem.Embed3D(m, 7)
+	return m
+}
+
+func TestAllAndByName(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("targets = %d, want 4", len(all))
+	}
+	for _, p := range all {
+		if ByName(p.Name) != p {
+			t.Fatalf("ByName(%q) did not return the canonical pocket", p.Name)
+		}
+		if len(p.Atoms) == 0 || p.Radius <= 0 {
+			t.Fatalf("%s has no geometry", p.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown name must return nil")
+	}
+}
+
+func TestPlaceLigandCenters(t *testing.T) {
+	m := testMol(t, "CC(=O)Oc1ccccc1C(=O)O")
+	m.Translate(chem.Vec3{X: 40, Y: -13, Z: 7})
+	out := Protease1.PlaceLigand(m)
+	if out != m {
+		t.Fatal("PlaceLigand must return its (mutated) argument")
+	}
+	if d := m.Centroid().Norm(); d > 1e-9 {
+		t.Fatalf("centroid %v A from the pocket center", d)
+	}
+}
+
+func TestTrueAffinityDeterministicAndBounded(t *testing.T) {
+	m := Protease1.PlaceLigand(testMol(t, "c1ccccc1CCN"))
+	a := Protease1.TrueAffinity(m)
+	if a != Protease1.TrueAffinity(m) {
+		t.Fatal("oracle not deterministic")
+	}
+	if a < 2 || a > 12 {
+		t.Fatalf("pK %v outside [2, 12]", a)
+	}
+}
+
+func TestAffinityDecaysOutOfPocket(t *testing.T) {
+	m := Spike1.PlaceLigand(testMol(t, "CC(=O)Nc1ccc(O)cc1"))
+	in := Spike1.TrueAffinity(m)
+	m.Translate(chem.Vec3{X: 60})
+	out := Spike1.TrueAffinity(m)
+	if out >= in {
+		t.Fatalf("affinity did not decay leaving the pocket: in %v, out %v", in, out)
+	}
+}
+
+func TestBiasedAffinityNoiseIsPerCompoundAndPerMethod(t *testing.T) {
+	m := Protease1.PlaceLigand(testMol(t, "NCCO"))
+	bias := MethodBias{Tag: "m1", Contact: 1, Hydro: 1, HBond: 1, Arom: 1, Rot: 1, Charge: 1, Noise: 0.5}
+	a := Protease1.BiasedAffinity(m, bias)
+	if a != Protease1.BiasedAffinity(m, bias) {
+		t.Fatal("biased read not deterministic")
+	}
+	clean := bias
+	clean.Noise = 0
+	if Protease1.BiasedAffinity(m, clean) != Protease1.TrueAffinity(m) {
+		t.Fatal("identity bias with zero noise must recover the truth")
+	}
+	other := bias
+	other.Tag = "m2"
+	if Protease1.BiasedAffinity(m, other) == a {
+		t.Fatal("different method tags must read independent noise streams")
+	}
+}
+
+func TestSyntheticDeterministicAndDistinct(t *testing.T) {
+	a := Synthetic("synth00", 5)
+	b := Synthetic("synth00", 5)
+	if len(a.Atoms) != len(b.Atoms) || a.Radius != b.Radius {
+		t.Fatal("Synthetic not deterministic")
+	}
+	for i := range a.Atoms {
+		if a.Atoms[i] != b.Atoms[i] {
+			t.Fatal("Synthetic atoms not deterministic")
+		}
+	}
+	c := Synthetic("synth01", 6)
+	if len(a.Atoms) == len(c.Atoms) && a.Radius == c.Radius {
+		// Radii are drawn from a continuous range; equality would mean
+		// the seed is being ignored.
+		t.Fatal("different seeds produced an identical pocket")
+	}
+}
+
+func TestPocketAtomsInsideVoxelExtent(t *testing.T) {
+	// The default 8^3 x 3 A grid spans ±12 A; pocket pseudo-atoms must
+	// land inside it so the protein channels are populated.
+	for _, p := range All() {
+		inside := 0
+		for _, a := range p.Atoms {
+			if math.Abs(a.Pos.X) < 12 && math.Abs(a.Pos.Y) < 12 && math.Abs(a.Pos.Z) < 12 {
+				inside++
+			}
+		}
+		if inside < len(p.Atoms)/2 {
+			t.Fatalf("%s: only %d/%d pseudo-atoms inside the default grid", p.Name, inside, len(p.Atoms))
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package tensor
+
+import "fmt"
+
+// This file holds the lowering kernels that turn 3D convolution into
+// matrix multiplication (im2col / col2im) plus the accumulating GEMM
+// they feed. Lowered convolution is the batched-inference fast path:
+// one position-major patch matrix per sample tile, multiplied against
+// the transposed kernel matrix, with the GEMM's zero-skip exploiting
+// the natural sparsity of voxelized complexes (most grid cells hold
+// no atom density).
+
+// Im2Col3D fills cols with the patch matrix for output positions
+// [posLo, posHi) of sample b of x, which must be a rank-5 tensor
+// [B, C, D, H, W]. Convolution geometry is the repository's Conv3D
+// contract: cubic kernel k, stride 1, same zero padding (pad = k/2).
+//
+// cols must be shaped [posHi-posLo, C*k*k*k]; row r holds the
+// flattened (c, kd, kh, kw) patch for output position posLo+r, where
+// positions enumerate (zd, zh, zw) in row-major order. Out-of-bounds
+// patch entries are zero.
+func Im2Col3D(x *Tensor, b, k, posLo, posHi int, cols *Tensor) {
+	if x.Rank() != 5 {
+		panic("tensor: Im2Col3D requires a rank-5 input")
+	}
+	c, d, h, w := x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	ck3 := c * k * k * k
+	rows := posHi - posLo
+	if cols.Rank() != 2 || cols.Dim(0) != rows || cols.Dim(1) != ck3 {
+		panic(fmt.Sprintf("tensor: Im2Col3D cols shape %v, want [%d %d]", cols.Shape, rows, ck3))
+	}
+	pad := k / 2
+	cols.Zero()
+	for pos := posLo; pos < posHi; pos++ {
+		zd, rem := pos/(h*w), pos%(h*w)
+		zh, zw := rem/w, rem%w
+		row := cols.Data[(pos-posLo)*ck3 : (pos-posLo+1)*ck3]
+		for ci := 0; ci < c; ci++ {
+			for kd := 0; kd < k; kd++ {
+				id := zd + kd - pad
+				if id < 0 || id >= d {
+					continue
+				}
+				for kh := 0; kh < k; kh++ {
+					ih := zh + kh - pad
+					if ih < 0 || ih >= h {
+						continue
+					}
+					xRow := x.Data[((((b*c+ci)*d+id)*h + ih) * w) : ((((b*c+ci)*d+id)*h+ih)*w + w)]
+					dst := row[((ci*k+kd)*k+kh)*k : ((ci*k+kd)*k+kh)*k+k]
+					for kw := 0; kw < k; kw++ {
+						if iw := zw + kw - pad; iw >= 0 && iw < w {
+							dst[kw] = xRow[iw]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im3D scatter-adds the patch-matrix gradient dcols (shaped
+// [posHi-posLo, C*k*k*k], the layout Im2Col3D produces) back into the
+// input gradient dx ([B, C, D, H, W]) for sample b. It is the adjoint
+// of Im2Col3D; out-of-bounds patch entries are dropped.
+func Col2Im3D(dcols *Tensor, b, k, posLo, posHi int, dx *Tensor) {
+	c, d, h, w := dx.Dim(1), dx.Dim(2), dx.Dim(3), dx.Dim(4)
+	ck3 := c * k * k * k
+	pad := k / 2
+	for pos := posLo; pos < posHi; pos++ {
+		zd, rem := pos/(h*w), pos%(h*w)
+		zh, zw := rem/w, rem%w
+		row := dcols.Data[(pos-posLo)*ck3 : (pos-posLo+1)*ck3]
+		for ci := 0; ci < c; ci++ {
+			for kd := 0; kd < k; kd++ {
+				id := zd + kd - pad
+				if id < 0 || id >= d {
+					continue
+				}
+				for kh := 0; kh < k; kh++ {
+					ih := zh + kh - pad
+					if ih < 0 || ih >= h {
+						continue
+					}
+					dxRow := dx.Data[((((b*c+ci)*d+id)*h + ih) * w) : ((((b*c+ci)*d+id)*h+ih)*w + w)]
+					src := row[((ci*k+kd)*k+kh)*k : ((ci*k+kd)*k+kh)*k+k]
+					for kw := 0; kw < k; kw++ {
+						if iw := zw + kw - pad; iw >= 0 && iw < w {
+							dxRow[iw] += src[kw]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulAcc computes C += A x B into the preallocated tensor c for
+// rank-2 tensors a (m x p) and b (p x n). Like MatMul it streams B
+// row-wise and skips zero A entries, which is what makes the lowered
+// convolution cheap on sparse voxel patches. The caller owns
+// parallelism (no internal goroutines), so disjoint destination
+// tensors can be filled concurrently.
+func MatMulAcc(c, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulAcc requires rank-2 tensors")
+	}
+	m, p := a.Shape[0], a.Shape[1]
+	p2, n := b.Shape[0], b.Shape[1]
+	if p != p2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAcc shapes %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	for i := 0; i < m; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		ai := a.Data[i*p : (i+1)*p]
+		for q := 0; q < p; q++ {
+			av := ai[q]
+			if av == 0 {
+				continue
+			}
+			bq := b.Data[q*n : (q+1)*n]
+			for j, bv := range bq {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns aᵀ for a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			t.Data[j*m+i] = v
+		}
+	}
+	return t
+}
