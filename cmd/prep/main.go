@@ -40,6 +40,20 @@ func main() {
 	lipinski := flag.Bool("lipinski", false, "keep only compounds passing Lipinski's rule of five")
 	seed := flag.Int64("seed", 7, "embedding seed")
 	verbose := flag.Bool("v", false, "log per-compound descriptors")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `prep — standalone ligand preparation (the MOE/antechamber stage)
+
+Reads SMILES or SDF compounds, strips salts, rejects metal complexes,
+sets pH-7 protonation states, embeds and minimizes 3D coordinates,
+and writes prepared structures as SDF, PDBQT or canonical SMILES.
+With no arguments: SMILES lines on stdin, SDF on stdout. Failed
+compounds are skipped with a warning, never aborting the run.
+
+Usage: prep [flags]
+
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	mols, err := readInput(*in, *format)

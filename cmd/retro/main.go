@@ -46,6 +46,20 @@ func main() {
 	inDir := flag.String("in", "", "directory of prediction shards from cmd/screen (required)")
 	threshold := flag.Float64("threshold", 33, "inhibition %% separating actives from inactives")
 	only := flag.String("target", "", "restrict the analysis to one binding site")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `retro — retrospective analysis of written prediction shards
+
+Reads the sharded h5lite archives produced by cmd/screen (or a
+finished cmd/campaign shard directory), folds pose scores to one
+prediction per compound, reruns the simulated experimental assay from
+each compound's provenance ID, and reports per-target correlation and
+classification quality for every scoring method (paper Section 5.2-5.3).
+
+Usage: retro -in shards/ [flags]
+
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *inDir == "" {
 		flag.Usage()

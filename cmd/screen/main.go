@@ -27,6 +27,20 @@ func main() {
 	outDir := flag.String("out", "", "directory for h5lite prediction shards (optional)")
 	shards := flag.Int("shards", 4, "output shards (parallel writers)")
 	full := flag.Bool("full", false, "use the full model-training budget")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `screen — one-shot virtual screening funnel for a single target
+
+Draws a compound deck from the four libraries, prepares and docks it,
+scores every pose with the distributed Coherent Fusion job, ranks
+compounds with the selection cost function, and optionally writes the
+predictions as sharded h5lite archives (readable by cmd/retro).
+For durable, resumable multi-target runs use cmd/campaign instead.
+
+Usage: screen [flags]
+
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	tgt := target.ByName(*targetName)

@@ -1,0 +1,495 @@
+// Package campaign is the production layer above the batched scoring
+// engine: a durable, resumable orchestrator for the paper's
+// months-long multi-target screening run. A campaign divides each
+// target's compound deck into per-chunk work units (the repro-scale
+// analogue of the paper's 125 concurrent four-node, 2M-pose Fusion
+// jobs), schedules them onto a bounded worker pool, and records every
+// state change in a manifest (JSON) plus compound-keyed h5lite shards
+// — so a killed or failure-injected campaign resumes exactly where it
+// stopped: completed chunks are skipped, in-flight chunks re-run, and
+// injected job failures (screen.ErrJobFailed) are retried per-chunk
+// instead of per-campaign, the paper's "another job takes its place"
+// fault tolerance.
+//
+// Determinism is load-bearing: the deck is regenerated from the
+// manifest config, docked poses are sorted into a canonical order
+// before scoring, and final selection always reads back the shard
+// files in unit order — so an interrupted-and-resumed campaign
+// produces byte-identical selections to an uninterrupted one.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/h5lite"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/screen"
+	"deepfusion/internal/target"
+)
+
+// Config declares a campaign. It is serialized into the manifest and
+// is the single source the deck and unit grid are derived from, so a
+// resumed process reconstructs exactly the run it is continuing.
+type Config struct {
+	// Targets lists binding-site names (target.ByName); empty means
+	// all four SARS-CoV-2 sites.
+	Targets []string `json:"targets"`
+	// Compounds is the deck size drawn from the four libraries; the
+	// same deck is screened against every target, as in the paper.
+	Compounds int `json:"compounds"`
+	// ChunkSize is the compounds per work unit — the repro analogue
+	// of the ~2M poses a production job carried.
+	ChunkSize int `json:"chunk_size"`
+	// MaxPoses caps docked poses per compound.
+	MaxPoses int `json:"max_poses"`
+	// Workers bounds the number of concurrently running units (the
+	// allocation's concurrent-job capacity). Zero means 2.
+	Workers int `json:"workers"`
+	// Job configures each unit's distributed Fusion scoring job,
+	// including FailureProb for the paper's observed job failures.
+	Job screen.JobOptions `json:"job"`
+	// MaxAttempts is the per-chunk Fusion job retry budget per Run
+	// call (resume grants a fresh budget). Zero means 3.
+	MaxAttempts int `json:"max_attempts"`
+	// Shards is the number of h5lite output shards per unit.
+	Shards int `json:"shards"`
+	// TopN compounds per target go on the simulated purchase list.
+	TopN int `json:"top_n"`
+	// Weights is the compound-selection cost function.
+	Weights screen.CostWeights `json:"weights"`
+	// AMPLFitMax caps the compounds used to fit the per-target AMPL
+	// surrogate. Zero means 60.
+	AMPLFitMax int `json:"ampl_fit_max"`
+	// AssayThreshold is the percent-inhibition cut for the two-stage
+	// experimental confirmation. Zero means 33 (the paper's hit bar).
+	AssayThreshold float64 `json:"assay_threshold"`
+	// ModelScale records how the scoring model is produced
+	// ("smoke"/"full" for cmd/campaign), so resume rebuilds the same
+	// model. Informational to this package; the model is injected.
+	ModelScale string `json:"model_scale,omitempty"`
+	// Seed drives docking and failure injection. Predictions do not
+	// depend on it, so retries never change the scores.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultConfig returns a repro-scale four-target campaign.
+func DefaultConfig() Config {
+	return Config{
+		Compounds:      48,
+		ChunkSize:      12,
+		MaxPoses:       3,
+		Workers:        2,
+		Job:            screen.DefaultJobOptions(),
+		MaxAttempts:    3,
+		Shards:         2,
+		TopN:           8,
+		Weights:        screen.DefaultCostWeights(),
+		AMPLFitMax:     60,
+		AssayThreshold: 33,
+		Seed:           1,
+	}
+}
+
+// withDefaults fills zero-valued knobs.
+func (c Config) withDefaults() Config {
+	if len(c.Targets) == 0 {
+		for _, t := range target.All() {
+			c.Targets = append(c.Targets, t.Name)
+		}
+	}
+	if c.Compounds < 1 {
+		c.Compounds = 48
+	}
+	if c.ChunkSize < 1 {
+		c.ChunkSize = 12
+	}
+	if c.MaxPoses < 1 {
+		c.MaxPoses = 3
+	}
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.TopN < 1 {
+		c.TopN = 8
+	}
+	if c.Weights == (screen.CostWeights{}) {
+		c.Weights = screen.DefaultCostWeights()
+	}
+	if c.AMPLFitMax < 1 {
+		c.AMPLFitMax = 60
+	}
+	if c.AssayThreshold <= 0 {
+		c.AssayThreshold = 33
+	}
+	return c
+}
+
+// validate rejects configs the orchestrator cannot honor.
+func (c Config) validate() error {
+	for _, name := range c.Targets {
+		if target.ByName(name) == nil {
+			return fmt.Errorf("campaign: unknown target %q", name)
+		}
+	}
+	return nil
+}
+
+// ErrInterrupted reports a Run stopped by context cancellation with
+// work remaining; the manifest holds the resume point.
+var ErrInterrupted = errors.New("campaign: interrupted; resume from manifest")
+
+// Campaign is a live handle on a campaign directory: the manifest,
+// the deterministically regenerated deck, and the injected scoring
+// model.
+type Campaign struct {
+	dir   string
+	model *fusion.Fusion
+	deck  []*chem.Mol
+	byID  map[string]*chem.Mol
+
+	mu  sync.Mutex // guards man and manifest writes
+	man *Manifest
+
+	// OnUnitStart and OnUnitDone are optional observers called from
+	// worker goroutines as units are claimed and retired. Tests use
+	// them to assert completed chunks are never re-scored and to
+	// inject mid-campaign kills.
+	OnUnitStart func(u UnitRecord)
+	OnUnitDone  func(u UnitRecord)
+}
+
+// New creates a campaign directory with a fresh manifest. It refuses
+// to overwrite an existing manifest — that is what Load is for.
+func New(dir string, cfg Config, model *fusion.Fusion) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(manifestPath(dir)); err == nil {
+		return nil, fmt.Errorf("campaign: %s already holds a campaign (use Load)", dir)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, shardDirName), 0o755); err != nil {
+		return nil, err
+	}
+	deck := drawDeck(cfg)
+	man := &Manifest{
+		Version:  manifestVersion,
+		Name:     filepath.Base(dir),
+		Config:   cfg,
+		DeckSize: len(deck),
+		Units:    unitGrid(cfg, len(deck)),
+	}
+	if err := saveManifest(dir, man); err != nil {
+		return nil, err
+	}
+	return newHandle(dir, man, deck, model), nil
+}
+
+// Load reopens an existing campaign directory: the deck is
+// regenerated from the stored config, units recorded in-flight (the
+// process died mid-chunk) are reset to pending, and done units whose
+// shard files have gone missing are demoted to pending so their data
+// is reproduced rather than silently dropped.
+func Load(dir string, model *fusion.Fusion) (*Campaign, error) {
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	deck := drawDeck(man.Config)
+	if len(deck) != man.DeckSize {
+		return nil, fmt.Errorf("campaign: deck regenerated to %d compounds, manifest has %d (library drift?)", len(deck), man.DeckSize)
+	}
+	changed := false
+	for i := range man.Units {
+		u := &man.Units[i]
+		if u.State == UnitInFlight {
+			u.State = UnitPending
+			u.Shards = nil
+			changed = true
+			continue
+		}
+		if u.State == UnitDone && !shardsExist(dir, u.Shards) {
+			u.State = UnitPending
+			u.Shards = nil
+			changed = true
+		}
+	}
+	if changed {
+		if err := saveManifest(dir, man); err != nil {
+			return nil, err
+		}
+	}
+	return newHandle(dir, man, deck, model), nil
+}
+
+func newHandle(dir string, man *Manifest, deck []*chem.Mol, model *fusion.Fusion) *Campaign {
+	byID := make(map[string]*chem.Mol, len(deck))
+	for _, m := range deck {
+		byID[m.Name] = m
+	}
+	return &Campaign{dir: dir, model: model, deck: deck, byID: byID, man: man}
+}
+
+// Dir returns the campaign directory.
+func (c *Campaign) Dir() string { return c.dir }
+
+// Config returns the stored campaign configuration.
+func (c *Campaign) Config() Config { return c.man.Config }
+
+// Status returns the current progress summary.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.man.status(c.dir)
+}
+
+// drawDeck regenerates the campaign's screening deck. libgen.Draw is
+// deterministic, so every process that reads the same config sees the
+// same compounds at the same indices.
+func drawDeck(cfg Config) []*chem.Mol {
+	return libgen.Draw(libgen.All(), cfg.Compounds)
+}
+
+// unitGrid lays out the work units: per target, the deck split into
+// ChunkSize compound ranges.
+func unitGrid(cfg Config, deckSize int) []UnitRecord {
+	var units []UnitRecord
+	for _, tgt := range cfg.Targets {
+		chunk := 0
+		for lo := 0; lo < deckSize; lo += cfg.ChunkSize {
+			hi := lo + cfg.ChunkSize
+			if hi > deckSize {
+				hi = deckSize
+			}
+			units = append(units, UnitRecord{
+				ID:     fmt.Sprintf("%s_c%03d", tgt, chunk),
+				Target: tgt,
+				Chunk:  chunk,
+				Lo:     lo,
+				Hi:     hi,
+				State:  UnitPending,
+			})
+			chunk++
+		}
+	}
+	return units
+}
+
+// unitSeed derives the unit's base seed for docking and failure
+// injection from the campaign seed and the unit's stable identity.
+func unitSeed(cfgSeed int64, u UnitRecord) int64 {
+	return cfgSeed + int64(screen.ShardOf(u.ID, 1<<20))*7919
+}
+
+// shardsExist reports whether every recorded shard file is present.
+func shardsExist(dir string, shards []string) bool {
+	if len(shards) == 0 {
+		return false
+	}
+	for _, s := range shards {
+		if _, err := os.Stat(filepath.Join(dir, s)); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes every runnable unit on a pool of Config.Workers
+// goroutines, persisting the manifest after each state change, then
+// finalizes the campaign (selection + confirmation) once all units
+// are done. Cancelling ctx stops the campaign between units and
+// returns ErrInterrupted; units that exhaust their retry budget are
+// recorded failed and Run reports them, leaving the rest of the
+// campaign complete. In both cases a subsequent Run (same process or
+// a fresh Load) continues from the manifest.
+func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	cfg := c.man.Config
+	work := make(chan int)
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(c.man.Units)+1)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if err := c.runUnit(ctx, i); err != nil {
+					errCh <- err
+				}
+			}
+		}()
+	}
+	// Feed runnable units; stop feeding the moment ctx is cancelled.
+	interrupted := false
+feed:
+	for i := range c.man.Units {
+		c.mu.Lock()
+		state := c.man.Units[i].State
+		c.mu.Unlock()
+		if state == UnitDone {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			break feed
+		case work <- i:
+		}
+	}
+	close(work)
+	wg.Wait()
+	close(errCh)
+
+	var unitErrs []error
+	for err := range errCh {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			interrupted = true
+			continue
+		}
+		unitErrs = append(unitErrs, err)
+	}
+	if interrupted {
+		return nil, fmt.Errorf("%w (%s)", ErrInterrupted, c.progressLine())
+	}
+	if len(unitErrs) > 0 {
+		return nil, fmt.Errorf("campaign: %d unit(s) failed, rerun to retry: %w", len(unitErrs), errors.Join(unitErrs...))
+	}
+	return c.Finalize()
+}
+
+func (c *Campaign) progressLine() string {
+	s := c.Status()
+	return fmt.Sprintf("%d/%d units done", s.Done, s.Total)
+}
+
+// runUnit executes one work unit end to end: dock the chunk, score
+// every pose with the distributed Fusion job (retrying injected
+// failures per-chunk), and write the unit's h5lite shards. The
+// manifest transitions pending -> inflight -> done around the work so
+// a kill at any point re-runs only this chunk.
+func (c *Campaign) runUnit(ctx context.Context, idx int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cfg := c.man.Config
+	c.mu.Lock()
+	u := c.man.Units[idx]
+	u.State = UnitInFlight
+	c.man.Units[idx] = u
+	err := saveManifest(c.dir, c.man)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if c.OnUnitStart != nil {
+		c.OnUnitStart(u)
+	}
+
+	tgt := target.ByName(u.Target)
+	chunk := c.deck[u.Lo:u.Hi]
+	seed := unitSeed(cfg.Seed, u)
+	poses, skipped := screen.DockCompounds(tgt, chunk, cfg.MaxPoses, seed)
+	// DockCompounds appends poses in goroutine-completion order; sort
+	// into the canonical (compound, pose-rank) order so shard bytes —
+	// and therefore final selections — are identical across runs.
+	sort.Slice(poses, func(a, b int) bool {
+		if poses[a].CompoundID != poses[b].CompoundID {
+			return poses[a].CompoundID < poses[b].CompoundID
+		}
+		return poses[a].PoseRank < poses[b].PoseRank
+	})
+
+	o := cfg.Job
+	// Advance past failure-injection seeds consumed by earlier
+	// attempts (this Run or a previous, resumed one), so a chunk that
+	// keeps drawing the failure dice eventually clears it. Scores
+	// never depend on the seed, only the injected-failure roll does.
+	o.Seed = seed + int64(u.Attempts)
+	preds, attempts, jobErr := screen.RunJobWithRetry(c.model, tgt, poses, o, cfg.MaxAttempts)
+	if jobErr != nil {
+		c.mu.Lock()
+		u = c.man.Units[idx]
+		u.State = UnitFailed
+		u.Attempts += attempts
+		c.man.Units[idx] = u
+		saveErr := saveManifest(c.dir, c.man)
+		c.mu.Unlock()
+		if saveErr != nil {
+			return saveErr
+		}
+		return fmt.Errorf("campaign: unit %s: %w", u.ID, jobErr)
+	}
+
+	shardNames, err := c.writeUnitShards(u, preds)
+	if err != nil {
+		return fmt.Errorf("campaign: unit %s: %w", u.ID, err)
+	}
+
+	c.mu.Lock()
+	u = c.man.Units[idx]
+	u.State = UnitDone
+	u.Attempts += attempts
+	u.Poses = len(preds)
+	u.Skipped = skipped
+	u.Shards = shardNames
+	c.man.Units[idx] = u
+	err = saveManifest(c.dir, c.man)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if c.OnUnitDone != nil {
+		c.OnUnitDone(u)
+	}
+	return nil
+}
+
+// writeUnitShards persists one unit's predictions as compound-keyed
+// h5lite shards (screen.WriteShards layout), each written to a temp
+// file and renamed so a kill never leaves a torn shard behind a
+// done-marked unit.
+func (c *Campaign) writeUnitShards(u UnitRecord, preds []screen.Prediction) ([]string, error) {
+	files := screen.WriteShards(preds, c.man.Config.Shards)
+	names := make([]string, 0, len(files))
+	for si, f := range files {
+		rel := filepath.Join(shardDirName, fmt.Sprintf("%s_s%02d.h5l", u.ID, si))
+		if err := writeShardFile(filepath.Join(c.dir, rel), f); err != nil {
+			return nil, err
+		}
+		names = append(names, rel)
+	}
+	return names, nil
+}
+
+func writeShardFile(path string, f *h5lite.File) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := f.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

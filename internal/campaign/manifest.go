@@ -1,0 +1,221 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// UnitState is the lifecycle of one work unit in the manifest.
+type UnitState string
+
+// Unit states. InFlight units were started but never recorded done —
+// a crash or kill caught them mid-chunk — and are re-run on resume.
+// Failed units exhausted their per-chunk retry budget and are retried
+// (with advanced failure-injection seeds) on the next Run.
+const (
+	UnitPending  UnitState = "pending"
+	UnitInFlight UnitState = "inflight"
+	UnitDone     UnitState = "done"
+	UnitFailed   UnitState = "failed"
+)
+
+// UnitRecord is the durable state of one work unit: one compound
+// chunk docked and scored against one target, with its output shard
+// files. The compound range [Lo, Hi) indexes the campaign deck, which
+// is regenerated deterministically from the manifest config.
+type UnitRecord struct {
+	ID       string    `json:"id"`
+	Target   string    `json:"target"`
+	Chunk    int       `json:"chunk"`
+	Lo       int       `json:"lo"`
+	Hi       int       `json:"hi"`
+	State    UnitState `json:"state"`
+	Attempts int       `json:"attempts"` // Fusion job attempts consumed so far
+	Poses    int       `json:"poses"`    // docked poses scored (done units)
+	Skipped  int       `json:"skipped"`  // compounds that failed prep/docking
+	Shards   []string  `json:"shards"`   // shard filenames relative to the campaign dir
+}
+
+// SelectionRecord is one selected compound in the finalized campaign:
+// the per-compound aggregated scores, the combined cost-function
+// value, and the two-stage experimental confirmation readout.
+type SelectionRecord struct {
+	CompoundID string  `json:"compound_id"`
+	Fusion     float64 `json:"fusion_pk"`
+	Vina       float64 `json:"vina_kcal"`
+	MMGBSA     float64 `json:"mmgbsa_kcal"`
+	AMPL       float64 `json:"ampl_kcal"`
+	Combined   float64 `json:"combined"`
+	NumPoses   int     `json:"num_poses"`
+	Inhibition float64 `json:"inhibition_pct"`
+	PrimaryHit bool    `json:"primary_hit"`
+	Confirmed  bool    `json:"confirmed"`
+}
+
+// Manifest is the durable campaign state: the configuration the deck
+// and unit grid are deterministically derived from, the per-unit
+// progress, and (once finalized) the per-target selections. It lives
+// as manifest.json in the campaign directory next to the shard files,
+// and is rewritten atomically after every state change so a killed
+// process leaves a consistent view: completed chunks are skipped on
+// resume, in-flight chunks re-run.
+type Manifest struct {
+	Version    int                          `json:"version"`
+	Name       string                       `json:"name"`
+	Config     Config                       `json:"config"`
+	DeckSize   int                          `json:"deck_size"`
+	Units      []UnitRecord                 `json:"units"`
+	Finalized  bool                         `json:"finalized"`
+	Selections map[string][]SelectionRecord `json:"selections,omitempty"`
+}
+
+const (
+	manifestVersion = 1
+	manifestName    = "manifest.json"
+	shardDirName    = "shards"
+)
+
+// manifestPath returns the manifest location inside a campaign dir.
+func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// saveManifest writes the manifest atomically: serialize to a temp
+// file in the same directory, fsync, rename over the live copy. A
+// kill at any instant leaves either the old or the new manifest,
+// never a torn one.
+func saveManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), manifestPath(dir))
+}
+
+// loadManifest reads and validates a campaign manifest.
+func loadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: no manifest in %s: %w", dir, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("campaign: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// TargetStatus summarizes one target's unit progress.
+type TargetStatus struct {
+	Target string
+	Done   int
+	Total  int
+	Poses  int
+}
+
+// Status is a point-in-time campaign summary derived from the
+// manifest.
+type Status struct {
+	Name      string
+	Dir       string
+	DeckSize  int
+	Done      int
+	InFlight  int
+	Pending   int
+	Failed    int
+	Total     int
+	Poses     int
+	Finalized bool
+	PerTarget []TargetStatus
+}
+
+// status folds the manifest's unit grid into per-state and per-target
+// counts.
+func (m *Manifest) status(dir string) Status {
+	s := Status{Name: m.Name, Dir: dir, DeckSize: m.DeckSize, Total: len(m.Units), Finalized: m.Finalized}
+	byTarget := map[string]*TargetStatus{}
+	var order []string
+	for _, u := range m.Units {
+		ts, ok := byTarget[u.Target]
+		if !ok {
+			ts = &TargetStatus{Target: u.Target}
+			byTarget[u.Target] = ts
+			order = append(order, u.Target)
+		}
+		ts.Total++
+		switch u.State {
+		case UnitDone:
+			s.Done++
+			s.Poses += u.Poses
+			ts.Done++
+			ts.Poses += u.Poses
+		case UnitInFlight:
+			s.InFlight++
+		case UnitFailed:
+			s.Failed++
+		default:
+			s.Pending++
+		}
+	}
+	sort.Strings(order)
+	for _, t := range order {
+		s.PerTarget = append(s.PerTarget, *byTarget[t])
+	}
+	return s
+}
+
+// ReadConfig loads only the stored configuration of a campaign
+// directory — enough for a resuming process to rebuild the scoring
+// model before paying for Load's deck regeneration.
+func ReadConfig(dir string) (Config, error) {
+	m, err := loadManifest(dir)
+	if err != nil {
+		return Config{}, err
+	}
+	return m.Config, nil
+}
+
+// ReadSelections loads the finalized per-target selections of a
+// campaign directory.
+func ReadSelections(dir string) (map[string][]SelectionRecord, error) {
+	m, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Finalized {
+		return nil, fmt.Errorf("campaign: %s is not finalized", dir)
+	}
+	return m.Selections, nil
+}
+
+// ReadStatus loads the manifest of a campaign directory and returns
+// its progress summary without constructing models or a deck — the
+// cheap path behind `campaign status`.
+func ReadStatus(dir string) (Status, error) {
+	m, err := loadManifest(dir)
+	if err != nil {
+		return Status{}, err
+	}
+	return m.status(dir), nil
+}

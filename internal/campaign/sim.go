@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"fmt"
+
+	"deepfusion/internal/cluster"
+)
+
+// PaperScale describes how a campaign's unit grid is projected onto
+// the production system the paper ran on: each target's deck blown up
+// to production size and chunked into the 2M-pose, four-node Fusion
+// jobs of Figure 3, scheduled on a Lassen allocation.
+type PaperScale struct {
+	CompoundsPerTarget int                   // production deck per binding site
+	PosesPerCompound   int                   // docked poses carried per compound
+	Job                cluster.FusionJobSpec // per-job shape (poses, nodes, batch, loaders)
+	AllocNodes         int                   // node allocation (paper: 500 of Lassen's 792)
+}
+
+// DefaultPaperScale reproduces the production run's shape: millions
+// of compounds per target at ~10 poses each, 2M-pose four-node jobs,
+// a 500-node allocation — the regime that kept ~125 jobs in flight.
+func DefaultPaperScale() PaperScale {
+	return PaperScale{
+		CompoundsPerTarget: 6_250_000,
+		PosesPerCompound:   10,
+		Job:                cluster.DefaultFusionJob(),
+		AllocNodes:         500,
+	}
+}
+
+// Plan expands the campaign's targets into the production job list:
+// per target, ceil(compounds x poses / job poses) Fusion jobs, the
+// last one partial. The jobs inherit the plan order of the targets so
+// the simulated scheduler interleaves targets the way the campaign
+// queue would.
+func (ps PaperScale) Plan(targets []string) ([]cluster.PlanJob, error) {
+	if ps.CompoundsPerTarget < 1 || ps.PosesPerCompound < 1 || ps.Job.Poses < 1 {
+		return nil, fmt.Errorf("campaign: paper scale needs positive compounds, poses and job size")
+	}
+	var jobs []cluster.PlanJob
+	perTarget := ps.CompoundsPerTarget * ps.PosesPerCompound
+	for _, t := range targets {
+		remaining := perTarget
+		for remaining > 0 {
+			spec := ps.Job
+			if remaining < spec.Poses {
+				spec.Poses = remaining
+			}
+			jobs = append(jobs, cluster.PlanJob{Target: t, Spec: spec})
+			remaining -= spec.Poses
+		}
+	}
+	return jobs, nil
+}
+
+// SimulateAtPaperScale projects a campaign configuration onto the
+// paper's production system: the same per-target work-unit structure
+// the orchestrator schedules at repro scale, re-expressed as 2M-pose
+// Fusion jobs and pushed through the cluster's discrete-event LSF
+// simulator. It answers the campaign-level questions the paper
+// reports — makespan, queueing, resubmission drag — without spending
+// real compute.
+func SimulateAtPaperScale(cfg Config, ps PaperScale, seed int64) (cluster.PlanResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return cluster.PlanResult{}, err
+	}
+	jobs, err := ps.Plan(cfg.Targets)
+	if err != nil {
+		return cluster.PlanResult{}, err
+	}
+	return cluster.SimulatePlan(jobs, ps.AllocNodes, seed)
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatePlanScoresEveryJob(t *testing.T) {
+	spec := DefaultFusionJob()
+	var jobs []PlanJob
+	targets := []string{"protease1", "protease2", "spike1", "spike2"}
+	perTarget := 30
+	for _, tgt := range targets {
+		for i := 0; i < perTarget; i++ {
+			jobs = append(jobs, PlanJob{Target: tgt, Spec: spec})
+		}
+	}
+	res, err := SimulatePlan(jobs, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(jobs) * spec.Poses
+	if res.PosesScored != want {
+		t.Fatalf("scored %d poses, want %d", res.PosesScored, want)
+	}
+	if res.Jobs != len(jobs)+res.Resubmissions {
+		t.Fatalf("jobs run (%d) != submitted (%d) + resubmissions (%d)", res.Jobs, len(jobs), res.Resubmissions)
+	}
+	if res.PeakJobs < 1 || res.PeakJobs > schedulerJobCap {
+		t.Fatalf("peak jobs %d outside [1, %d]", res.PeakJobs, schedulerJobCap)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("makespan must be positive")
+	}
+	if res.MaxQueueWait < res.MeanQueueWait {
+		t.Fatalf("max queue wait %v < mean %v", res.MaxQueueWait, res.MeanQueueWait)
+	}
+	if len(res.PerTarget) != len(targets) {
+		t.Fatalf("want %d per-target stats, got %d", len(targets), len(res.PerTarget))
+	}
+	var last time.Duration
+	for _, st := range res.PerTarget {
+		if st.PosesScored != perTarget*spec.Poses {
+			t.Fatalf("target %s scored %d poses, want %d", st.Target, st.PosesScored, perTarget*spec.Poses)
+		}
+		if st.Finish > res.Makespan {
+			t.Fatalf("target %s finishes at %v, after the %v makespan", st.Target, st.Finish, res.Makespan)
+		}
+		if st.Finish > last {
+			last = st.Finish
+		}
+	}
+	if last != res.Makespan {
+		t.Fatalf("latest target finish %v != makespan %v", last, res.Makespan)
+	}
+}
+
+func TestSimulatePlanQueuesBeyondAllocation(t *testing.T) {
+	// 40 four-node jobs on a 16-node allocation: at most 4 run at
+	// once, the rest wait in queue.
+	spec := DefaultFusionJob()
+	var jobs []PlanJob
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, PlanJob{Target: "protease1", Spec: spec})
+	}
+	res, err := SimulatePlan(jobs, 16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakJobs > 4 {
+		t.Fatalf("peak %d jobs on a 4-slot allocation", res.PeakJobs)
+	}
+	if res.MaxQueueWait <= 0 {
+		t.Fatal("an oversubscribed plan must show queue wait")
+	}
+	if res.PosesScored != 40*spec.Poses {
+		t.Fatalf("scored %d poses, want %d", res.PosesScored, 40*spec.Poses)
+	}
+}
+
+func TestSimulatePlanRejectsOversizedJob(t *testing.T) {
+	spec := DefaultFusionJob()
+	spec.Nodes = 8
+	if _, err := SimulatePlan([]PlanJob{{Target: "spike1", Spec: spec}}, 4, 1); err == nil {
+		t.Fatal("job larger than the allocation must be rejected")
+	}
+}

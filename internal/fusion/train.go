@@ -119,8 +119,9 @@ func mseOf(preds []float64, samples []*Sample) float64 {
 	return se / float64(len(samples))
 }
 
-// TrainSGCNN trains an SG-CNN. Graphs vary in size, so samples are
-// processed singly with gradient accumulation per mini-batch.
+// TrainSGCNN trains an SG-CNN. Graphs vary in size, so each
+// mini-batch runs as one disjoint-union ForwardBatch (no edge crosses
+// a segment boundary) with a single batched backward pass.
 func TrainSGCNN(cfg SGCNNConfig, train, val []*Sample, seed int64) (*SGCNN, *History) {
 	m := NewSGCNN(cfg, seed)
 	m.out.B.Value.Data[0] = meanLabel(train)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -84,15 +85,32 @@ func TestReadShardsEmptyAndMissingGroups(t *testing.T) {
 }
 
 func TestReadShardsRaggedColumnsError(t *testing.T) {
-	f := h5lite.New()
-	g := f.Root().Group("dock").Group("spike1")
-	g.SetStrings("ids", []string{"a", "b"})
-	g.SetFloats("pose_rank", []float64{0})
-	g.SetFloats("fusion_pk", []float64{5, 6})
-	g.SetFloats("vina_kcal", []float64{-5, -6})
-	g.SetFloats("mmgbsa_kcal", []float64{-15, -16})
-	if _, err := ReadShards([]*h5lite.File{f}); err == nil {
-		t.Fatal("ragged columns must be reported")
+	// Each case truncates a different column; every one must surface
+	// an error naming the target group rather than emitting skewed
+	// predictions.
+	cols := []string{"pose_rank", "fusion_pk", "vina_kcal", "mmgbsa_kcal"}
+	for _, short := range append([]string{"ids"}, cols...) {
+		f := h5lite.New()
+		g := f.Root().Group("dock").Group("spike1")
+		ids := []string{"a", "b"}
+		if short == "ids" {
+			ids = ids[:1]
+		}
+		g.SetStrings("ids", ids)
+		for _, c := range cols {
+			v := []float64{1, 2}
+			if short == c {
+				v = v[:1]
+			}
+			g.SetFloats(c, v)
+		}
+		_, err := ReadShards([]*h5lite.File{f})
+		if err == nil {
+			t.Fatalf("ragged %s column must be reported", short)
+		}
+		if !strings.Contains(err.Error(), "spike1") {
+			t.Fatalf("ragged-column error %q does not name the target group", err)
+		}
 	}
 }
 
