@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet bench bench-screen bench-report clean
+.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-report clean
 
 all: build
 
@@ -15,6 +15,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Vet again under the build tags CI exercises, so tag-gated files
+# (benchmarks, integration probes) stay analyzable as they appear.
+vet-tags:
+	$(GO) vet -tags bench,integration ./...
+
+# Known-vulnerability scan of the module and its (stdlib-only)
+# dependency graph. Installs govulncheck on demand; requires network
+# for the tool and its vulnerability database.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 test:
 	$(GO) test ./...
@@ -27,13 +38,18 @@ verify: build vet test
 bench-screen:
 	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkRunJob' -benchtime 2s | tee bench_screen.txt
 
+# Ensemble-engine win: featurize-once/score-N consensus scoring vs N
+# independent single-scorer runs over the same poses.
+bench-consensus:
+	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkConsensus' -benchtime 2s | tee bench_consensus.txt
+
 # Paper tables and figures as machine-readable JSON (smoke budget;
 # pass FULL=1 for the full budget).
 bench-report:
 	$(GO) run ./cmd/benchreport $(if $(FULL),-full) -json > bench_report.json
 	@echo "wrote bench_report.json"
 
-bench: bench-screen bench-report
+bench: bench-screen bench-consensus bench-report
 
 clean:
-	rm -f bench_screen.txt bench_report.json
+	rm -f bench_screen.txt bench_consensus.txt bench_report.json

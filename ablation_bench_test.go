@@ -7,6 +7,7 @@ package deepfusion
 // distributed scoring job.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -152,7 +153,7 @@ func BenchmarkRealRankScaling(b *testing.B) {
 		}
 		mols = append(mols, m)
 	}
-	poses, _ := screen.DockCompounds(target.Protease1, mols, 4, 303)
+	poses, _, _ := screen.DockCompounds(context.Background(), target.Protease1, mols, 4, 303)
 	fmt.Printf("Real rank scaling (%d poses, one model replica per rank):\n", len(poses))
 	for _, ranks := range []int{1, 2, 4, 8} {
 		o := screen.DefaultJobOptions()
@@ -160,7 +161,7 @@ func BenchmarkRealRankScaling(b *testing.B) {
 		var rate float64
 		for i := 0; i < b.N; i++ {
 			start := time.Now()
-			preds, err := screen.RunJob(coherent, target.Protease1, poses, o)
+			preds, err := screen.RunJob(context.Background(), coherent, target.Protease1, poses, o)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -229,18 +230,18 @@ func BenchmarkFutureWorkStreamingOutput(b *testing.B) {
 		}
 		mols = append(mols, m)
 	}
-	poses, _ := screen.DockCompounds(target.Spike1, mols, 4, 404)
+	poses, _, _ := screen.DockCompounds(context.Background(), target.Spike1, mols, 4, 404)
 	o := screen.DefaultJobOptions()
 	var batchSec, streamFirstSec float64
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		if _, err := screen.RunJob(coherent, target.Spike1, poses, o); err != nil {
+		if _, err := screen.RunJob(context.Background(), coherent, target.Spike1, poses, o); err != nil {
 			b.Fatal(err)
 		}
 		batchSec = time.Since(start).Seconds()
 
 		start = time.Now()
-		ch, wait := screen.RunJobStreaming(coherent, target.Spike1, poses, o)
+		ch, wait := screen.RunJobStreaming(context.Background(), coherent, target.Spike1, poses, o)
 		first := true
 		for range ch {
 			if first {
@@ -402,7 +403,7 @@ func BenchmarkLoaderVsInference(b *testing.B) {
 		}
 		mols = append(mols, m)
 	}
-	poses, _ := screen.DockCompounds(target.Protease1, mols, 3, 777)
+	poses, _, _ := screen.DockCompounds(context.Background(), target.Protease1, mols, 3, 777)
 	vo := coherent.CNN.Cfg.Voxel
 	gro := featurize.DefaultGraphOptions()
 

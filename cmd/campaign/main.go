@@ -8,17 +8,20 @@
 //
 // Usage:
 //
-//	campaign run    -dir DIR [-targets a,b] [-n N] [-chunk N] [-workers N]
-//	                [-top N] [-failprob P] [-seed N] [-full]
+//	campaign run    -dir DIR [-targets a,b] [-scorers a,b,c] [-n N]
+//	                [-chunk N] [-workers N] [-top N] [-failprob P]
+//	                [-seed N] [-full]
 //	campaign resume -dir DIR
 //	campaign status -dir DIR
 //
 // `run` creates the campaign (refusing to clobber an existing one),
-// trains the Coherent Fusion model at the requested scale and executes
-// every work unit. `resume` reloads the manifest, deterministically
-// rebuilds the same model from the recorded scale, skips completed
-// chunks and re-runs the rest. `status` prints per-target progress
-// without touching models or compound libraries.
+// builds the requested scorer set (training models at the requested
+// scale) and executes every work unit. `resume` reloads the manifest,
+// deterministically rebuilds the same scorer set from the recorded
+// names and scale, skips completed chunks and re-runs the rest —
+// refusing to resume under a different scorer set. `status` prints
+// per-target progress and the manifest's scorer set without touching
+// models or compound libraries.
 package main
 
 import (
@@ -76,8 +79,10 @@ func main() {
 	}
 }
 
-// interruptibleContext cancels on SIGINT/SIGTERM so a ctrl-C lands
-// between units and leaves a clean resume point.
+// interruptibleContext cancels on SIGINT/SIGTERM. The context is
+// threaded through docking and the scoring engine, so a ctrl-C stops
+// the campaign within one inference batch and leaves a clean resume
+// point (interrupted units stay in-flight and re-run on resume).
 func interruptibleContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
@@ -86,6 +91,7 @@ func cmdRun(args []string) {
 	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory (required; must not already hold a campaign)")
 	targets := fs.String("targets", "", "comma-separated binding sites (default: all four)")
+	scorers := fs.String("scorers", "coherent", "comma-separated scorer set, primary first: "+strings.Join(experiments.ScorerNames(), "|"))
 	n := fs.Int("n", 48, "compounds in the screening deck")
 	chunk := fs.Int("chunk", 12, "compounds per work unit")
 	workers := fs.Int("workers", 2, "concurrently running units")
@@ -113,11 +119,14 @@ func cmdRun(args []string) {
 		cfg.ModelScale = "full"
 	}
 
-	fmt.Printf("training Coherent Fusion model (scale=%s)...\n", cfg.ModelScale)
-	model := experiments.Coherent(scaleOf(cfg.ModelScale))
-	cfg.Job.Voxel = model.CNN.Cfg.Voxel
+	names := strings.Split(*scorers, ",")
+	fmt.Printf("building scorer set %v (scale=%s)...\n", names, cfg.ModelScale)
+	set, err := experiments.ScorersByName(scaleOf(cfg.ModelScale), names)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	c, err := campaign.New(*dir, cfg, model)
+	c, err := campaign.New(*dir, cfg, set)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,14 +144,21 @@ func cmdResume(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scale := "smoke"
-	if m, err := campaign.ReadConfig(*dir); err == nil && m.ModelScale != "" {
-		scale = m.ModelScale
+	cfg, err := campaign.ReadConfig(*dir)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("resuming %s: %d/%d units done, rebuilding model (scale=%s)...\n",
-		st.Name, st.Done, st.Total, scale)
-	model := experiments.Coherent(scaleOf(scale))
-	c, err := campaign.Load(*dir, model)
+	scale := "smoke"
+	if cfg.ModelScale != "" {
+		scale = cfg.ModelScale
+	}
+	fmt.Printf("resuming %s: %d/%d units done, rebuilding scorer set %v (scale=%s)...\n",
+		st.Name, st.Done, st.Total, cfg.Scorers, scale)
+	set, err := experiments.ScorersByName(scaleOf(scale), cfg.Scorers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := campaign.Load(*dir, set)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -196,6 +212,7 @@ func execute(c *campaign.Campaign) {
 
 func printStatus(st campaign.Status) {
 	fmt.Printf("campaign %s (%s)\n", st.Name, st.Dir)
+	fmt.Printf("scorers: %s\n", strings.Join(st.Scorers, ", "))
 	fmt.Printf("deck: %d compounds; units: %d done, %d in-flight, %d failed, %d pending of %d; poses scored: %d\n",
 		st.DeckSize, st.Done, st.InFlight, st.Failed, st.Pending, st.Total, st.Poses)
 	for _, ts := range st.PerTarget {

@@ -1,16 +1,21 @@
 // Command screen runs the high-throughput virtual screening funnel for
 // one SARS-CoV-2 target: draw compounds from the four libraries,
-// prepare and dock them, score every pose with the distributed
-// Coherent Fusion job, rank compounds with the selection cost function
-// and write the prediction archive as sharded h5lite files.
+// prepare and dock them, score every pose with the distributed job —
+// under any scorer of the paper's method comparison — rank compounds
+// with the selection cost function and write the prediction archive as
+// sharded h5lite files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 
 	"deepfusion/internal/experiments"
 	"deepfusion/internal/libgen"
@@ -22,6 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("screen: ")
 	targetName := flag.String("target", "protease1", "binding site: protease1 | protease2 | spike1 | spike2")
+	scorer := flag.String("scorer", "coherent", "scoring method: "+strings.Join(experiments.ScorerNames(), "|"))
 	n := flag.Int("n", 24, "compounds to screen")
 	top := flag.Int("top", 10, "compounds to select for experiment")
 	outDir := flag.String("out", "", "directory for h5lite prediction shards (optional)")
@@ -31,9 +37,11 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), `screen — one-shot virtual screening funnel for a single target
 
 Draws a compound deck from the four libraries, prepares and docks it,
-scores every pose with the distributed Coherent Fusion job, ranks
-compounds with the selection cost function, and optionally writes the
-predictions as sharded h5lite archives (readable by cmd/retro).
+scores every pose with the distributed job under the chosen scorer
+(any fusion model family, the Vina or MM/GBSA physics surrogate, or
+the consensus of coherent+vina+mmgbsa), ranks compounds with the
+selection cost function, and optionally writes the predictions as
+sharded h5lite archives (readable by cmd/retro).
 For durable, resumable multi-target runs use cmd/campaign instead.
 
 Usage: screen [flags]
@@ -52,26 +60,37 @@ Usage: screen [flags]
 		scale = experiments.Full
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("drawing %d unique compounds from %d libraries...\n", *n, len(libgen.All()))
 	mols := libgen.Draw(libgen.All(), *n)
 
-	fmt.Printf("training models (scale=%v) and docking against %s...\n", scaleName(scale), tgt.Name)
-	coherent := experiments.Coherent(scale)
-	poses, skipped := screen.DockCompounds(tgt, mols, 5, 99)
-	fmt.Printf("docked %d poses (%d compounds skipped)\n", len(poses), skipped)
-
-	jobOpts := screen.DefaultJobOptions()
-	jobOpts.Voxel = coherent.CNN.Cfg.Voxel
-	preds, attempts, err := screen.RunJobWithRetry(coherent, tgt, poses, jobOpts, 3)
+	fmt.Printf("building scorer %q (scale=%s) and docking against %s...\n", *scorer, scaleName(scale), tgt.Name)
+	sc, err := experiments.ScorerByName(scale, *scorer)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fusion job complete after %d attempt(s): %d pose scores\n", attempts, len(preds))
+	poses, problems, err := screen.DockCompounds(ctx, tgt, mols, 5, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("docked %d poses (%d compounds rejected)\n", len(poses), len(problems))
+	for _, p := range problems {
+		fmt.Printf("  rejected %s\n", p)
+	}
+
+	jobOpts := screen.DefaultJobOptions()
+	preds, attempts, err := screen.RunJobWithRetry(ctx, sc, tgt, poses, jobOpts, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s job complete after %d attempt(s): %d pose scores\n", sc.Name(), attempts, len(preds))
 
 	scores := screen.AggregateByCompound(preds)
 	selected := screen.SelectForExperiment(scores, screen.DefaultCostWeights(), *top)
-	fmt.Printf("\ntop %d candidates for %s:\n", len(selected), tgt.Name)
-	fmt.Printf("%-28s  %8s  %10s  %10s\n", "compound", "pred pK", "vina", "poses")
+	fmt.Printf("\ntop %d candidates for %s (scorer %s):\n", len(selected), tgt.Name, sc.Name())
+	fmt.Printf("%-28s  %8s  %10s  %10s\n", "compound", "score", "vina", "poses")
 	for _, s := range selected {
 		fmt.Printf("%-28s  %8.2f  %10.2f  %10d\n", s.CompoundID, s.Fusion, s.Vina, s.NumPoses)
 	}

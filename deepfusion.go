@@ -5,8 +5,10 @@
 // It exposes the screening-facing surface of the system: the four
 // SARS-CoV-2 binding sites, the four compound libraries, training of
 // the 3D-CNN / SG-CNN / Fusion models on a synthetic PDBbind corpus,
-// and the distributed high-throughput screening pipeline with its
-// batched inference engine. The internal packages hold the substrates
+// and the composable screening Pipeline over the one scoring contract
+// (Scorer) shared by every model family, the physics surrogates and
+// consensus — dock, score with a context-aware distributed ensemble
+// job, select with the cost function, all reported in a rich Result. The internal packages hold the substrates
 // (chemistry, docking, MM/GBSA, PB2 hyper-parameter optimization,
 // cluster simulation); see DESIGN.md for the full inventory. The
 // paper-vs-measured record of every table and figure is regenerated
@@ -14,10 +16,11 @@
 package deepfusion
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"deepfusion/internal/chem"
-	"deepfusion/internal/featurize"
 	"deepfusion/internal/fusion"
 	"deepfusion/internal/libgen"
 	"deepfusion/internal/md"
@@ -145,19 +148,25 @@ func DefaultScreenOptions() ScreenOptions {
 // Screen runs the full funnel for one target: dock every compound,
 // score all poses with the distributed Coherent Fusion job, and fold
 // to per-compound scores ranked by the selection cost function.
+//
+// Deprecated: Screen is a thin wrapper over the composable Pipeline
+// API — use NewPipeline(m).Run(ctx, p, compounds) for cancellation,
+// scorer ensembles, and the full per-stage Result. The wrapper is
+// pinned byte-identical to the Pipeline path; unlike the old
+// implementation it no longer swallows docking rejections, logging
+// them instead (the Pipeline surfaces them in Result.Problems).
 func Screen(m *Models, p *Pocket, compounds []*Mol, o ScreenOptions) ([]CompoundScore, error) {
-	poses, _ := screen.DockCompounds(p, compounds, o.MaxPoses, o.Seed)
-	job := o.Job
-	job.Voxel = m.Coherent.CNN.Cfg.Voxel
-	job.Graph = featurize.DefaultGraphOptions()
-	preds, _, err := screen.RunJobWithRetry(m.Coherent, p, poses, job, 3)
+	res, err := NewPipeline(m).
+		WithJob(o.Job).
+		WithDocking(o.MaxPoses, o.Seed).
+		WithSelection(screen.DefaultCostWeights(), o.Select).
+		Run(context.Background(), p, compounds)
 	if err != nil {
 		return nil, err
 	}
-	scores := screen.AggregateByCompound(preds)
-	n := o.Select
-	if n <= 0 || n > len(scores) {
-		n = len(scores)
+	if res.Rejected > 0 {
+		log.Printf("deepfusion: Screen(%s): docking rejected %d of %d compounds: %v",
+			p.Name, res.Rejected, res.Compounds, res.Problems)
 	}
-	return screen.SelectForExperiment(scores, screen.DefaultCostWeights(), n), nil
+	return res.Selected, nil
 }

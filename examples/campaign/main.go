@@ -3,15 +3,18 @@
 //  1. run a two-target campaign and kill it mid-flight (simulated
 //     with a cancelled context, exactly what SIGINT does in
 //     cmd/campaign),
+//
 //  2. resume it from the manifest — completed chunks are skipped,
 //     in-flight chunks re-run — and finalize the selections,
+//
 //  3. run the same campaign uninterrupted and show the selections are
 //     byte-identical,
+//
 //  4. project the campaign onto the paper's production system (2M-pose
 //     four-node Fusion jobs, 500 Lassen nodes, ~125 jobs in flight)
 //     with the discrete-event cluster simulator.
 //
-//	go run ./examples/campaign
+//     go run ./examples/campaign
 package main
 
 import (
@@ -46,6 +49,14 @@ func demoModel() *fusion.Fusion {
 	sg.NonCovGatherWidth = 8
 	return fusion.NewFusion(fusion.DefaultCoherentConfig(),
 		fusion.NewCNN3D(cnnCfg, 1), fusion.NewSGCNN(sg, 2), 3)
+}
+
+// demoScorers is the campaign's scorer set: the manifest records the
+// names and a resume must present the same set. A single Coherent
+// model keeps the walkthrough fast; see examples/consensus for a
+// multi-scorer ensemble.
+func demoScorers() []screen.Scorer {
+	return []screen.Scorer{demoModel()}
 }
 
 func demoConfig() campaign.Config {
@@ -85,7 +96,7 @@ func main() {
 	// --- 1. Start a campaign and kill it mid-flight. -----------------
 	dir := filepath.Join(root, "covid")
 	fmt.Println("== run: two targets, 12 compounds, 8 work units ==")
-	c, err := campaign.New(dir, demoConfig(), demoModel())
+	c, err := campaign.New(dir, demoConfig(), demoScorers())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,7 +128,7 @@ func main() {
 
 	// --- 2. Resume from the manifest. --------------------------------
 	fmt.Println("== resume: completed chunks skipped, the rest re-run ==")
-	cr, err := campaign.Load(dir, demoModel())
+	cr, err := campaign.Load(dir, demoScorers())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,7 +148,7 @@ func main() {
 	// --- 3. Uninterrupted control run: identical selections. ---------
 	fmt.Println("== control: the same campaign, uninterrupted ==")
 	dir2 := filepath.Join(root, "covid-control")
-	c2, err := campaign.New(dir2, demoConfig(), demoModel())
+	c2, err := campaign.New(dir2, demoConfig(), demoScorers())
 	if err != nil {
 		log.Fatal(err)
 	}

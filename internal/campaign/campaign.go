@@ -24,11 +24,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"sync"
 
 	"deepfusion/internal/chem"
-	"deepfusion/internal/fusion"
 	"deepfusion/internal/h5lite"
 	"deepfusion/internal/libgen"
 	"deepfusion/internal/screen"
@@ -53,9 +53,14 @@ type Config struct {
 	// Workers bounds the number of concurrently running units (the
 	// allocation's concurrent-job capacity). Zero means 2.
 	Workers int `json:"workers"`
-	// Job configures each unit's distributed Fusion scoring job,
-	// including FailureProb for the paper's observed job failures.
+	// Job configures each unit's distributed scoring job, including
+	// FailureProb for the paper's observed job failures.
 	Job screen.JobOptions `json:"job"`
+	// Scorers records the stable names of the scorer set the campaign
+	// screens with, in primary-first order. New fills it from the
+	// injected scorers; Load refuses to resume under a different set —
+	// shard columns and selections are only comparable within one set.
+	Scorers []string `json:"scorers,omitempty"`
 	// MaxAttempts is the per-chunk Fusion job retry budget per Run
 	// call (resume grants a fresh budget). Zero means 3.
 	MaxAttempts int `json:"max_attempts"`
@@ -153,13 +158,14 @@ func (c Config) validate() error {
 var ErrInterrupted = errors.New("campaign: interrupted; resume from manifest")
 
 // Campaign is a live handle on a campaign directory: the manifest,
-// the deterministically regenerated deck, and the injected scoring
-// model.
+// the deterministically regenerated deck, and the injected scorer
+// set (primary first — the primary fills the legacy fusion_pk column
+// the selection cost function reads).
 type Campaign struct {
-	dir   string
-	model *fusion.Fusion
-	deck  []*chem.Mol
-	byID  map[string]*chem.Mol
+	dir     string
+	scorers []screen.Scorer
+	deck    []*chem.Mol
+	byID    map[string]*chem.Mol
 
 	mu  sync.Mutex // guards man and manifest writes
 	man *Manifest
@@ -172,10 +178,20 @@ type Campaign struct {
 	OnUnitDone  func(u UnitRecord)
 }
 
-// New creates a campaign directory with a fresh manifest. It refuses
-// to overwrite an existing manifest — that is what Load is for.
-func New(dir string, cfg Config, model *fusion.Fusion) (*Campaign, error) {
+// New creates a campaign directory with a fresh manifest recording
+// the scorer set by name. It refuses to overwrite an existing
+// manifest — that is what Load is for.
+func New(dir string, cfg Config, scorers []screen.Scorer) (*Campaign, error) {
+	if len(scorers) == 0 {
+		return nil, fmt.Errorf("campaign: need at least one scorer")
+	}
+	// A duplicate name would fail every unit's scoring job; refuse it
+	// before a manifest exists.
+	if err := screen.ValidateScorerSet(scorers); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
 	cfg = cfg.withDefaults()
+	cfg.Scorers = screen.ScorerNames(scorers)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -196,18 +212,25 @@ func New(dir string, cfg Config, model *fusion.Fusion) (*Campaign, error) {
 	if err := saveManifest(dir, man); err != nil {
 		return nil, err
 	}
-	return newHandle(dir, man, deck, model), nil
+	return newHandle(dir, man, deck, scorers), nil
 }
 
 // Load reopens an existing campaign directory: the deck is
 // regenerated from the stored config, units recorded in-flight (the
 // process died mid-chunk) are reset to pending, and done units whose
 // shard files have gone missing are demoted to pending so their data
-// is reproduced rather than silently dropped.
-func Load(dir string, model *fusion.Fusion) (*Campaign, error) {
+// is reproduced rather than silently dropped. The provided scorer set
+// must match the manifest's recorded names exactly — completed shards
+// were written by that set, and mixing sets would corrupt the
+// campaign's comparability guarantee.
+func Load(dir string, scorers []screen.Scorer) (*Campaign, error) {
 	man, err := loadManifest(dir)
 	if err != nil {
 		return nil, err
+	}
+	got := screen.ScorerNames(scorers)
+	if !slices.Equal(got, man.Config.Scorers) {
+		return nil, fmt.Errorf("campaign: manifest records scorer set %v; refusing to resume with %v", man.Config.Scorers, got)
 	}
 	deck := drawDeck(man.Config)
 	if len(deck) != man.DeckSize {
@@ -233,15 +256,15 @@ func Load(dir string, model *fusion.Fusion) (*Campaign, error) {
 			return nil, err
 		}
 	}
-	return newHandle(dir, man, deck, model), nil
+	return newHandle(dir, man, deck, scorers), nil
 }
 
-func newHandle(dir string, man *Manifest, deck []*chem.Mol, model *fusion.Fusion) *Campaign {
+func newHandle(dir string, man *Manifest, deck []*chem.Mol, scorers []screen.Scorer) *Campaign {
 	byID := make(map[string]*chem.Mol, len(deck))
 	for _, m := range deck {
 		byID[m.Name] = m
 	}
-	return &Campaign{dir: dir, model: model, deck: deck, byID: byID, man: man}
+	return &Campaign{dir: dir, scorers: scorers, deck: deck, byID: byID, man: man}
 }
 
 // Dir returns the campaign directory.
@@ -311,9 +334,12 @@ func shardsExist(dir string, shards []string) bool {
 // Run executes every runnable unit on a pool of Config.Workers
 // goroutines, persisting the manifest after each state change, then
 // finalizes the campaign (selection + confirmation) once all units
-// are done. Cancelling ctx stops the campaign between units and
-// returns ErrInterrupted; units that exhaust their retry budget are
-// recorded failed and Run reports them, leaving the rest of the
+// are done. Cancellation is real and threaded through the whole unit
+// — the docking stage stops between compounds and the scoring engine
+// within one inference batch — so cancelling ctx stops the campaign
+// promptly and returns ErrInterrupted with the interrupted units left
+// in-flight (re-run on resume). Units that exhaust their retry budget
+// are recorded failed and Run reports them, leaving the rest of the
 // campaign complete. In both cases a subsequent Run (same process or
 // a fresh Load) continues from the manifest.
 func (c *Campaign) Run(ctx context.Context) (*Result, error) {
@@ -376,10 +402,12 @@ func (c *Campaign) progressLine() string {
 }
 
 // runUnit executes one work unit end to end: dock the chunk, score
-// every pose with the distributed Fusion job (retrying injected
+// every pose with the distributed ensemble job (retrying injected
 // failures per-chunk), and write the unit's h5lite shards. The
 // manifest transitions pending -> inflight -> done around the work so
-// a kill at any point re-runs only this chunk.
+// a kill at any point re-runs only this chunk. A context
+// cancellation mid-unit propagates out with the unit left in-flight:
+// that is interruption, not failure.
 func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -401,7 +429,10 @@ func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 	tgt := target.ByName(u.Target)
 	chunk := c.deck[u.Lo:u.Hi]
 	seed := unitSeed(cfg.Seed, u)
-	poses, skipped := screen.DockCompounds(tgt, chunk, cfg.MaxPoses, seed)
+	poses, problems, err := screen.DockCompounds(ctx, tgt, chunk, cfg.MaxPoses, seed)
+	if err != nil {
+		return err // cancelled mid-dock; unit stays in-flight for resume
+	}
 	// DockCompounds appends poses in goroutine-completion order; sort
 	// into the canonical (compound, pose-rank) order so shard bytes —
 	// and therefore final selections — are identical across runs.
@@ -418,8 +449,11 @@ func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 	// keeps drawing the failure dice eventually clears it. Scores
 	// never depend on the seed, only the injected-failure roll does.
 	o.Seed = seed + int64(u.Attempts)
-	preds, attempts, jobErr := screen.RunJobWithRetry(c.model, tgt, poses, o, cfg.MaxAttempts)
+	preds, attempts, jobErr := screen.RunJobEnsembleWithRetry(ctx, c.scorers, tgt, poses, o, cfg.MaxAttempts)
 	if jobErr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err() // interruption, not a failed unit
+		}
 		c.mu.Lock()
 		u = c.man.Units[idx]
 		u.State = UnitFailed
@@ -443,7 +477,7 @@ func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 	u.State = UnitDone
 	u.Attempts += attempts
 	u.Poses = len(preds)
-	u.Skipped = skipped
+	u.Skipped = len(problems)
 	u.Shards = shardNames
 	c.man.Units[idx] = u
 	err = saveManifest(c.dir, c.man)

@@ -29,6 +29,12 @@ func tinyModel() *fusion.Fusion {
 	return fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, 3)
 }
 
+// tinyScorers is the single-Coherent scorer set most campaign tests
+// run under; the ensemble and refusal semantics get their own tests.
+func tinyScorers() []screen.Scorer {
+	return []screen.Scorer{tinyModel()}
+}
+
 // tinyConfig is a two-target, six-compound campaign: three work units
 // per target, small enough for unit tests, structured enough to
 // exercise chunking, pooling and resume.
@@ -49,7 +55,7 @@ func tinyConfig() Config {
 
 func TestCampaignRunsToCompletion(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "camp")
-	c, err := New(dir, tinyConfig(), tinyModel())
+	c, err := New(dir, tinyConfig(), tinyScorers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,10 +104,10 @@ func TestCampaignRunsToCompletion(t *testing.T) {
 
 func TestNewRefusesExistingCampaign(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "camp")
-	if _, err := New(dir, tinyConfig(), tinyModel()); err != nil {
+	if _, err := New(dir, tinyConfig(), tinyScorers()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(dir, tinyConfig(), tinyModel()); err == nil {
+	if _, err := New(dir, tinyConfig(), tinyScorers()); err == nil {
 		t.Fatal("New must refuse a directory that already holds a campaign")
 	}
 }
@@ -109,7 +115,7 @@ func TestNewRefusesExistingCampaign(t *testing.T) {
 func TestCampaignRejectsUnknownTarget(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Targets = []string{"protease1", "orf9b"}
-	if _, err := New(filepath.Join(t.TempDir(), "camp"), cfg, tinyModel()); err == nil {
+	if _, err := New(filepath.Join(t.TempDir(), "camp"), cfg, tinyScorers()); err == nil {
 		t.Fatal("unknown target must be rejected")
 	}
 }

@@ -123,6 +123,11 @@ func loadManifest(dir string) (*Manifest, error) {
 	if m.Version != manifestVersion {
 		return nil, fmt.Errorf("campaign: manifest version %d, want %d", m.Version, manifestVersion)
 	}
+	// Manifests written before the Scorer redesign recorded no scorer
+	// set; they were all single-Coherent campaigns.
+	if len(m.Config.Scorers) == 0 {
+		m.Config.Scorers = []string{"coherent"}
+	}
 	return &m, nil
 }
 
@@ -140,6 +145,7 @@ type Status struct {
 	Name      string
 	Dir       string
 	DeckSize  int
+	Scorers   []string // the manifest's recorded scorer set, primary first
 	Done      int
 	InFlight  int
 	Pending   int
@@ -153,7 +159,7 @@ type Status struct {
 // status folds the manifest's unit grid into per-state and per-target
 // counts.
 func (m *Manifest) status(dir string) Status {
-	s := Status{Name: m.Name, Dir: dir, DeckSize: m.DeckSize, Total: len(m.Units), Finalized: m.Finalized}
+	s := Status{Name: m.Name, Dir: dir, DeckSize: m.DeckSize, Scorers: m.Config.Scorers, Total: len(m.Units), Finalized: m.Finalized}
 	byTarget := map[string]*TargetStatus{}
 	var order []string
 	for _, u := range m.Units {

@@ -37,7 +37,7 @@ func TestResumeAfterKillMatchesUninterrupted(t *testing.T) {
 
 	// Reference: the uninterrupted campaign.
 	dirA := filepath.Join(t.TempDir(), "uninterrupted")
-	ca, err := New(dirA, cfg, tinyModel())
+	ca, err := New(dirA, cfg, tinyScorers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestResumeAfterKillMatchesUninterrupted(t *testing.T) {
 
 	// Victim: kill the campaign after two units complete.
 	dirB := filepath.Join(t.TempDir(), "killed")
-	cb, err := New(dirB, cfg, tinyModel())
+	cb, err := New(dirB, cfg, tinyScorers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestResumeAfterKillMatchesUninterrupted(t *testing.T) {
 
 	// Resume in a "fresh process": reload the manifest and a
 	// deterministically reconstructed model.
-	cr, err := Load(dirB, tinyModel())
+	cr, err := Load(dirB, tinyScorers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestResumeAfterKillMatchesUninterrupted(t *testing.T) {
 func TestFailureInjectionRetriesPerChunk(t *testing.T) {
 	clean := tinyConfig()
 	dirA := filepath.Join(t.TempDir(), "clean")
-	ca, err := New(dirA, clean, tinyModel())
+	ca, err := New(dirA, clean, tinyScorers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestFailureInjectionRetriesPerChunk(t *testing.T) {
 	faulty.Job.FailureProb = 0.5
 	faulty.MaxAttempts = 12
 	dirB := filepath.Join(t.TempDir(), "faulty")
-	cb, err := New(dirB, faulty, tinyModel())
+	cb, err := New(dirB, faulty, tinyScorers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestExhaustedRetriesFailUnitAndResume(t *testing.T) {
 	cfg.Job.FailureProb = 0.5
 	cfg.MaxAttempts = 1 // a single failed roll fails the unit
 	dir := filepath.Join(t.TempDir(), "budget")
-	c, err := New(dir, cfg, tinyModel())
+	c, err := New(dir, cfg, tinyScorers())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestExhaustedRetriesFailUnitAndResume(t *testing.T) {
 	}
 	// Retry until the advancing per-attempt seeds clear the dice.
 	for i := 0; i < 20; i++ {
-		cl, err := Load(dir, tinyModel())
+		cl, err := Load(dir, tinyScorers())
 		if err != nil {
 			t.Fatal(err)
 		}

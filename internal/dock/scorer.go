@@ -1,0 +1,28 @@
+package dock
+
+import "deepfusion/internal/fusion"
+
+// VinaScorer adapts the Vina-style empirical scoring function to the
+// screening engine's Scorer contract, so the docking score competes in
+// the same funnel as the deep models — the paper's method comparison
+// is exactly this: Vina vs the fusion families against one selection
+// cost function. The scorer reads the raw posed complex off the shared
+// Sample (it does not implement the Featurizer handshake) and is
+// stateless, so ranks share one instance.
+type VinaScorer struct{}
+
+// Name identifies the Vina surrogate in shard columns and manifests.
+func (VinaScorer) Name() string { return "vina" }
+
+// ScoreBatch evaluates the empirical score of each posed complex, in
+// kcal/mol (lower is stronger).
+func (VinaScorer) ScoreBatch(samples []*fusion.Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = VinaScore(s.Pocket, s.Mol)
+	}
+	return out
+}
+
+// LowerIsBetter reports the kcal/mol orientation.
+func (VinaScorer) LowerIsBetter() bool { return true }

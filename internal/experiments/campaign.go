@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -100,12 +101,15 @@ func Campaign(s Scale) *CampaignResult {
 
 	res := &CampaignResult{}
 	for ti, tgt := range target.All() {
-		poses, _ := screen.DockCompounds(tgt, mols, 5, int64(5000+ti))
+		poses, _, dockErr := screen.DockCompounds(context.Background(), tgt, mols, 5, int64(5000+ti))
+		if dockErr != nil {
+			continue
+		}
 		jobOpts := screen.DefaultJobOptions()
 		jobOpts.Voxel = b.voxel
 		jobOpts.Graph = b.graph
 		jobOpts.Seed = int64(6000 + ti)
-		preds, _, err := screen.RunJobWithRetry(b.coherent, tgt, toScreenPoses(poses), jobOpts, 3)
+		preds, _, err := screen.RunJobWithRetry(context.Background(), b.coherent, tgt, toScreenPoses(poses), jobOpts, 3)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"deepfusion/internal/dock"
+	"deepfusion/internal/mmgbsa"
+	"deepfusion/internal/screen"
+)
+
+// ScorerNames lists every scorer the factory can build: the five
+// trained model families, the two physics surrogates, and the
+// consensus over {coherent, vina, mmgbsa} — the paper's method
+// comparison as one flag surface.
+func ScorerNames() []string {
+	return []string{"cnn3d", "sgcnn", "late", "mid", "coherent", "vina", "mmgbsa", "consensus"}
+}
+
+// ScorerByName builds the named scorer at the given training scale.
+// Model scorers train (once per scale, cached) on first use; the
+// physics surrogates are free. Beyond the factory keys, the composite
+// names a Consensus reports — "consensus(a+b+c)" — resolve back to
+// the same consensus, so the scorer set a campaign manifest records
+// round-trips through this factory on resume.
+func ScorerByName(s Scale, name string) (screen.Scorer, error) {
+	switch name {
+	case "vina":
+		return dock.VinaScorer{}, nil
+	case "mmgbsa":
+		return mmgbsa.Scorer{}, nil
+	case "consensus":
+		b := models(s)
+		return screen.NewConsensus(b.coherent, dock.VinaScorer{}, mmgbsa.Scorer{})
+	}
+	if inner, ok := strings.CutPrefix(name, "consensus("); ok && strings.HasSuffix(inner, ")") {
+		members, err := ScorersByName(s, strings.Split(strings.TrimSuffix(inner, ")"), "+"))
+		if err != nil {
+			return nil, err
+		}
+		return screen.NewConsensus(members...)
+	}
+	b := models(s)
+	switch name {
+	case "cnn3d":
+		return b.cnn, nil
+	case "sgcnn":
+		return b.sg, nil
+	case "late":
+		return b.late, nil
+	case "mid":
+		return b.mid, nil
+	case "coherent":
+		return b.coherent, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown scorer %q (want %s)", name, strings.Join(ScorerNames(), "|"))
+}
+
+// ScorersByName builds a scorer set from a name list, in order (the
+// first is the primary scorer).
+func ScorersByName(s Scale, names []string) ([]screen.Scorer, error) {
+	out := make([]screen.Scorer, 0, len(names))
+	for _, n := range names {
+		sc, err := ScorerByName(s, strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}

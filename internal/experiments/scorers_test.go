@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+
+	"deepfusion/internal/screen"
+)
+
+// TestScorerNamesRoundTripThroughFactory: every name the factory
+// advertises — and, crucially, every name the built scorers *report*
+// (what a campaign manifest records) — must resolve back through the
+// factory, so `campaign resume` can always rebuild a recorded set.
+func TestScorerNamesRoundTripThroughFactory(t *testing.T) {
+	for _, name := range ScorerNames() {
+		s, err := ScorerByName(Smoke, name)
+		if err != nil {
+			t.Fatalf("factory name %q: %v", name, err)
+		}
+		// The reported name (composite for consensus) must itself
+		// resolve, and to a scorer reporting the same name.
+		back, err := ScorerByName(Smoke, s.Name())
+		if err != nil {
+			t.Fatalf("reported name %q does not round-trip: %v", s.Name(), err)
+		}
+		if back.Name() != s.Name() {
+			t.Fatalf("round-trip renamed %q to %q", s.Name(), back.Name())
+		}
+	}
+	// The full recorded-set path, as cmdResume uses it.
+	set, err := ScorersByName(Smoke, []string{"coherent", "vina", "mmgbsa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := ScorersByName(Smoke, screen.ScorerNames(set))
+	if err != nil {
+		t.Fatalf("recorded scorer set does not round-trip: %v", err)
+	}
+	if len(rebuilt) != len(set) {
+		t.Fatalf("round-trip changed set size: %d vs %d", len(rebuilt), len(set))
+	}
+	if _, err := ScorerByName(Smoke, "bogus"); err == nil {
+		t.Fatal("unknown scorer must error")
+	}
+}

@@ -1,0 +1,28 @@
+package mmgbsa
+
+import "deepfusion/internal/fusion"
+
+// Scorer adapts the MM/GBSA single-point rescorer to the screening
+// engine's scoring contract: the physics rescoring stage of the
+// paper's funnel, runnable at scale on the same batched engine as the
+// deep models. It reads the raw posed complex off the shared Sample
+// (no Featurizer handshake) and is stateless, so ranks share one
+// instance.
+type Scorer struct{}
+
+// Name identifies the MM/GBSA surrogate in shard columns and
+// manifests.
+func (Scorer) Name() string { return "mmgbsa" }
+
+// ScoreBatch evaluates the MM/GBSA single-point binding energy of each
+// posed complex, in kcal/mol (lower is stronger).
+func (Scorer) ScoreBatch(samples []*fusion.Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = Rescore(s.Pocket, s.Mol)
+	}
+	return out
+}
+
+// LowerIsBetter reports the kcal/mol orientation.
+func (Scorer) LowerIsBetter() bool { return true }

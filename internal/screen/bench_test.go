@@ -1,12 +1,15 @@
 package screen
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"deepfusion/internal/dock"
 	"deepfusion/internal/fusion"
 	"deepfusion/internal/libgen"
+	"deepfusion/internal/mmgbsa"
 	"deepfusion/internal/target"
 )
 
@@ -56,7 +59,7 @@ func runJobBench(b *testing.B, batchSize int, direct bool) {
 	var scored int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		preds, err := RunJob(f, target.Protease1, poses, o)
+		preds, err := RunJob(context.Background(), f, target.Protease1, poses, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +91,7 @@ func BenchmarkRunJobBatched56(b *testing.B) {
 	o.BatchSize = 56
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunJob(f, target.Protease1, poses, o); err != nil {
+		if _, err := RunJob(context.Background(), f, target.Protease1, poses, o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,7 +129,7 @@ func TestBatchedBeatsPerSample(t *testing.T) {
 		best := 0.0
 		for rep := 0; rep < 3; rep++ {
 			start := time.Now()
-			if _, err := RunJob(f, target.Protease1, poses, o); err != nil {
+			if _, err := RunJob(context.Background(), f, target.Protease1, poses, o); err != nil {
 				t.Fatal(err)
 			}
 			if el := time.Since(start).Seconds(); rep == 0 || el < best {
@@ -144,4 +147,59 @@ func TestBatchedBeatsPerSample(t *testing.T) {
 		t.Fatalf("batched engine %.3fs not 2x faster than per-sample baseline %.3fs (%.2fx)",
 			batched, baseline, baseline/batched)
 	}
+}
+
+// benchEnsemble is the consensus-bench scorer set: the Coherent model
+// plus both physics surrogates — the paper's method families side by
+// side.
+func benchEnsemble(b *testing.B) []Scorer {
+	return []Scorer{benchFusion(b), dock.VinaScorer{}, mmgbsa.Scorer{}}
+}
+
+// BenchmarkConsensusFeaturizeOnce measures the ensemble engine:
+// featurize each pose once, score it with all three scorers in the
+// same batch pass (`make bench-consensus`).
+func BenchmarkConsensusFeaturizeOnce(b *testing.B) {
+	scorers := benchEnsemble(b)
+	poses := benchPoses(b, 24)
+	o := DefaultJobOptions()
+	o.Ranks = 2
+	o.LoadersPerRank = 2
+	var scored int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds, err := RunJobEnsemble(context.Background(), scorers, target.Protease1, poses, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		atomic.AddInt64(&scored, int64(len(preds)))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(scored)/b.Elapsed().Seconds(), "poses/s")
+}
+
+// BenchmarkConsensusIndependentRuns is the naive alternative the
+// ensemble engine replaces: one full job per scorer, featurizing
+// every pose N times.
+func BenchmarkConsensusIndependentRuns(b *testing.B) {
+	scorers := benchEnsemble(b)
+	poses := benchPoses(b, 24)
+	o := DefaultJobOptions()
+	o.Ranks = 2
+	o.LoadersPerRank = 2
+	var scored int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range scorers {
+			preds, err := RunJob(context.Background(), s, target.Protease1, poses, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			atomic.AddInt64(&scored, int64(len(preds)))
+		}
+	}
+	b.StopTimer()
+	// poses/s of complete 3-scorer consensus rows, comparable to the
+	// featurize-once number.
+	b.ReportMetric(float64(scored)/float64(len(scorers))/b.Elapsed().Seconds(), "poses/s")
 }

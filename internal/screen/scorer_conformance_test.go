@@ -1,0 +1,186 @@
+package screen
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"deepfusion/internal/dock"
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/mmgbsa"
+	"deepfusion/internal/target"
+)
+
+// The Scorer conformance suite: every implementation of the scoring
+// contract — all five fusion model families, both physics surrogates,
+// and consensus — must satisfy the same invariants the engine relies
+// on: a stable non-empty name, deterministic scores, batch ==
+// per-sample composition independence, one score per sample in input
+// order, and replica equivalence for scorers implementing the Cloner
+// handshake.
+
+// conformanceScorers builds one instance of every Scorer
+// implementation (tiny untrained models: the contract is about
+// architecture, not accuracy).
+func conformanceScorers(t *testing.T) map[string]Scorer {
+	t.Helper()
+	cnnCfg := fusion.DefaultCNN3DConfig()
+	cnnCfg.Voxel = featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
+	cnnCfg.ConvFilters1 = 4
+	cnnCfg.ConvFilters2 = 6
+	cnnCfg.DenseNodes = 8
+	sgCfg := fusion.DefaultSGCNNConfig()
+	sgCfg.CovGatherWidth = 6
+	sgCfg.NonCovGatherWidth = 8
+	cnn := fusion.NewCNN3D(cnnCfg, 1)
+	sg := fusion.NewSGCNN(sgCfg, 2)
+	midCfg := fusion.DefaultMidFusionConfig()
+	coh := fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn.Clone(), sg.Clone(), 3)
+	consensus, err := NewConsensus(coh.Clone(), dock.VinaScorer{}, mmgbsa.Scorer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Scorer{
+		"cnn3d":                           cnn,
+		"sgcnn":                           sg,
+		"late":                            &fusion.LateFusion{CNN: cnn.Clone(), SG: sg.Clone()},
+		"mid":                             fusion.NewFusion(midCfg, cnn.Clone(), sg.Clone(), 4),
+		"coherent":                        coh,
+		"vina":                            dock.VinaScorer{},
+		"mmgbsa":                          mmgbsa.Scorer{},
+		"consensus(coherent+vina+mmgbsa)": consensus,
+	}
+}
+
+// conformanceSamples featurizes a handful of docked poses with the
+// tiny-model options shared by every conformance scorer.
+func conformanceSamples(t *testing.T, n int) []*fusion.Sample {
+	t.Helper()
+	mols := testMols(t, n)
+	poses, _, err := DockCompounds(context.Background(), target.Protease1, mols, 2, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poses) < n {
+		t.Fatalf("docking produced %d poses, need %d", len(poses), n)
+	}
+	vo := featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
+	gro := featurize.DefaultGraphOptions()
+	samples := make([]*fusion.Sample, n)
+	for i := 0; i < n; i++ {
+		samples[i] = fusion.FeaturizeComplex(poses[i].CompoundID, target.Protease1, poses[i].Mol, 0, vo, gro)
+	}
+	return samples
+}
+
+func TestScorerConformance(t *testing.T) {
+	samples := conformanceSamples(t, 5)
+	for wantName, s := range conformanceScorers(t) {
+		s := s
+		t.Run(wantName, func(t *testing.T) {
+			// Name stability: non-empty, the expected constant, and
+			// identical on every call.
+			if s.Name() == "" {
+				t.Fatal("empty scorer name")
+			}
+			if got := s.Name(); got != wantName {
+				t.Fatalf("Name() = %q, want %q", got, wantName)
+			}
+			if s.Name() != s.Name() {
+				t.Fatal("Name() is not stable across calls")
+			}
+
+			// One score per sample.
+			batch := s.ScoreBatch(samples)
+			if len(batch) != len(samples) {
+				t.Fatalf("ScoreBatch returned %d scores for %d samples", len(batch), len(samples))
+			}
+			for i, v := range batch {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("sample %d scored %v", i, v)
+				}
+			}
+
+			// Determinism: a second call reproduces the first exactly.
+			again := s.ScoreBatch(samples)
+			for i := range batch {
+				if batch[i] != again[i] {
+					t.Fatalf("sample %d: %v then %v — scorer is not deterministic", i, batch[i], again[i])
+				}
+			}
+
+			// Batch == per-sample: composition must not change a score.
+			for i, smp := range samples {
+				solo := s.ScoreBatch([]*fusion.Sample{smp})
+				if len(solo) != 1 {
+					t.Fatalf("singleton batch returned %d scores", len(solo))
+				}
+				if math.Abs(solo[0]-batch[i]) > 1e-9 {
+					t.Fatalf("sample %d: batch %v != per-sample %v", i, batch[i], solo[0])
+				}
+			}
+
+			// Replica equivalence for the Cloner handshake.
+			if c, ok := s.(Cloner); ok {
+				replica, ok := c.CloneScorer().(Scorer)
+				if !ok {
+					t.Fatal("CloneScorer did not return a Scorer")
+				}
+				if replica.Name() != s.Name() {
+					t.Fatalf("replica renamed itself: %q vs %q", replica.Name(), s.Name())
+				}
+				rep := replica.ScoreBatch(samples)
+				for i := range batch {
+					if rep[i] != batch[i] {
+						t.Fatalf("sample %d: replica %v != original %v", i, rep[i], batch[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConsensusOrientsKcalMembers pins the consensus mix: kcal/mol
+// members (lower better) are negated and converted to pK scale before
+// averaging, so a strongly-bound pose raises the consensus.
+func TestConsensusOrientsKcalMembers(t *testing.T) {
+	samples := conformanceSamples(t, 2)
+	vina := dock.VinaScorer{}
+	c, err := NewConsensus(vina)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := vina.ScoreBatch(samples)
+	mixed := c.ScoreBatch(samples)
+	for i := range raw {
+		want := -raw[i] / kcalPerPK
+		if math.Abs(mixed[i]-want) > 1e-12 {
+			t.Fatalf("sample %d: consensus %v, want oriented %v", i, mixed[i], want)
+		}
+	}
+}
+
+func TestConsensusRejectsBadMemberSets(t *testing.T) {
+	if _, err := NewConsensus(); err == nil {
+		t.Fatal("empty consensus must be rejected")
+	}
+	if _, err := NewConsensus(dock.VinaScorer{}, dock.VinaScorer{}); err == nil {
+		t.Fatal("duplicate members must be rejected")
+	}
+	// Conflicting Featurizer handshakes cannot share one featurization
+	// pass.
+	cnnCfgA := fusion.DefaultCNN3DConfig()
+	cnnCfgA.Voxel = featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
+	cnnCfgA.ConvFilters1 = 4
+	cnnCfgA.ConvFilters2 = 6
+	cnnCfgA.DenseNodes = 8
+	cnnCfgB := cnnCfgA
+	cnnCfgB.Voxel.GridSize = 8
+	sgCfg := fusion.DefaultSGCNNConfig()
+	a := fusion.NewFusion(fusion.DefaultCoherentConfig(), fusion.NewCNN3D(cnnCfgA, 1), fusion.NewSGCNN(sgCfg, 2), 3)
+	b := fusion.NewFusion(fusion.DefaultMidFusionConfig(), fusion.NewCNN3D(cnnCfgB, 4), fusion.NewSGCNN(sgCfg, 5), 6)
+	if _, err := NewConsensus(a, b); err == nil {
+		t.Fatal("conflicting voxel handshakes must be rejected")
+	}
+}

@@ -1,18 +1,29 @@
-// Package screen implements the high-throughput distributed Fusion
-// scoring architecture of paper Section 4.2 (Figure 3), executed with
-// real concurrency: a job takes a set of docked poses, divides them
-// across simulated MPI ranks (goroutines, one model replica each, as
-// the paper loads one Fusion instance per GPU), runs parallel data
-// loaders per rank to featurize poses ahead of inference, gathers
-// identifiers and predictions across ranks (the paper's Horovod
-// allgather), and writes sharded h5lite archives whose layout mirrors
-// ConveyorLC's CDT3Docking output.
+// Package screen implements the high-throughput distributed scoring
+// architecture of paper Section 4.2 (Figure 3), executed with real
+// concurrency: a job takes a set of docked poses, divides them across
+// simulated MPI ranks (goroutines, one scorer replica each, as the
+// paper loads one Fusion instance per GPU), runs parallel data loaders
+// per rank to featurize poses ahead of inference, gathers identifiers
+// and predictions across ranks (the paper's Horovod allgather), and
+// writes sharded h5lite archives whose layout mirrors ConveyorLC's
+// CDT3Docking output.
+//
+// The engine is generic over the Scorer contract (scorer.go): any
+// scorer — a fusion model family, a physics surrogate, a consensus —
+// or an ensemble of them runs on the same batched machinery.
+// Featurization happens once per pose and is shared across the
+// ensemble; every scorer contributes its own prediction column to the
+// output shards. All entry points take a context.Context and stop
+// within one inference batch of cancellation.
 package screen
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 
 	"deepfusion/internal/chem"
@@ -32,16 +43,29 @@ type Pose struct {
 	VinaScore  float64
 }
 
-// Prediction is one scored pose: the Fusion binding-affinity
-// prediction alongside the physics scores carried through the funnel.
+// Prediction is one scored pose: the primary scorer's prediction
+// alongside the physics scores carried through the funnel, plus (for
+// ensemble jobs) every scorer's prediction keyed by scorer name.
 type Prediction struct {
 	CompoundID string
 	Target     string
 	PoseRank   int
-	Fusion     float64 // predicted pK (higher is stronger)
-	Vina       float64 // kcal/mol (lower is stronger)
-	MMGBSA     float64 // kcal/mol (lower is stronger)
-	Rank       int     // which simulated MPI rank scored it
+	// Fusion is the primary scorer's prediction on the pK scale
+	// (higher is stronger). Scorers declaring LowerIsBetter (kcal/mol
+	// surrogates) are converted at emit time, so per-compound
+	// aggregation (max over poses) and the selection cost function
+	// treat every scorer uniformly; pK scorers pass through unchanged.
+	Fusion float64
+	Vina   float64 // kcal/mol (lower is stronger)
+	MMGBSA float64 // kcal/mol (lower is stronger)
+	Rank   int     // which simulated MPI rank scored it
+	// Scores holds every scorer's raw prediction keyed by
+	// Scorer.Name(), in the scorer's native units (kcal/mol stays
+	// kcal/mol — only the primary Fusion column is pK-oriented).
+	// It is populated only by ensemble jobs (two or more scorers);
+	// single-scorer jobs keep the legacy three-column layout so their
+	// shard bytes are unchanged from the pre-Scorer engine.
+	Scores map[string]float64
 }
 
 // JobOptions configures a distributed scoring job.
@@ -49,8 +73,11 @@ type JobOptions struct {
 	Ranks          int // simulated MPI ranks (paper: 16 = 4 nodes x 4 GPUs)
 	LoadersPerRank int // parallel data loaders per rank (paper: 12)
 	BatchSize      int // poses per inference batch (paper: up to 56)
-	Voxel          featurize.VoxelOptions
-	Graph          featurize.GraphOptions
+	// Voxel and Graph are the featurization fallback; scorers
+	// implementing the Featurizer handshake override them (the engine
+	// featurizes once with the merged options).
+	Voxel featurize.VoxelOptions
+	Graph featurize.GraphOptions
 	// FailureProb injects the paper's observed job failures (bad
 	// metadata, node failure, broken pipes). A failed job returns
 	// ErrJobFailed and must be resubmitted by the caller.
@@ -84,25 +111,63 @@ func injectFailure(o JobOptions) bool {
 	return rng.Float64() < o.FailureProb
 }
 
-// runRanks is the batched scoring engine behind RunJob and
-// RunJobStreaming. Each rank gets a deep model replica and its
-// index-strided share of the poses; loader goroutines featurize ahead
-// of inference; the rank accumulates featurized samples until a full
-// batch forms and scores it with one PredictBatch call (the paper's
-// up-to-56-poses-per-GPU batches). emit is called once per pose, from
-// the scoring rank's goroutine, and must be safe for concurrent calls
-// across ranks. runRanks returns when every rank has drained.
-func runRanks(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions, emit func(idx int, pr Prediction)) {
+// runRanks is the batched scoring engine behind every job entry point.
+// Each rank gets its own replica of every scorer (via the Cloner
+// handshake) and its index-strided share of the poses; loader
+// goroutines featurize ahead of inference — once per pose, shared by
+// the whole ensemble; the rank accumulates featurized samples until a
+// full batch forms and scores it with one ScoreBatch call per scorer
+// (the paper's up-to-56-poses-per-GPU batches). emit is called once
+// per pose, from the scoring rank's goroutine, and must be safe for
+// concurrent calls across ranks. runRanks returns when every rank has
+// drained, or with ctx.Err() if cancelled — cancellation lands at
+// batch boundaries, so a running job stops within one batch.
+func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []Pose, o JobOptions, emit func(idx int, pr Prediction)) error {
+	vo, gro, err := mergeFeatureOptions(scorers, o.Voxel, o.Graph)
+	if err != nil {
+		return err
+	}
+	// Featurization is the dominant per-pose cost. When no scorer in
+	// the set declares a representation through the Featurizer
+	// handshake (pure physics surrogates, or a consensus of them —
+	// which implements Featurizer but may declare nothing), loaders
+	// hand over raw samples — identity, pocket and posed molecule only
+	// — instead of voxelizing and graph-building representations
+	// nothing will read.
+	needFeatures := false
+	for _, s := range scorers {
+		if f, ok := s.(Featurizer); ok {
+			if fo := f.FeatureOptions(); fo.Voxel != nil || fo.Graph != nil {
+				needFeatures = true
+				break
+			}
+		}
+	}
 	bs := o.BatchSize
 	if bs < 1 {
 		bs = 1
+	}
+	ensemble := len(scorers) > 1
+	// When the MM/GBSA surrogate is in the scorer set, its ScoreBatch
+	// already computes the rescore carried in the legacy MMGBSA column
+	// (ScoreBatch is contractually deterministic) — reuse it instead of
+	// paying the physics rescore twice per pose.
+	mmgbsaIdx := -1
+	for i, s := range scorers {
+		if s.Name() == "mmgbsa" {
+			mmgbsaIdx = i
+			break
+		}
 	}
 	var wg sync.WaitGroup
 	for rank := 0; rank < o.Ranks; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			replica := f.Clone()
+			replicas := make([]Scorer, len(scorers))
+			for i, s := range scorers {
+				replicas[i] = replicaOf(s)
+			}
 			// The rank's share: index-strided, as in the paper ("divide
 			// the set of compounds by the number of ranks and assign
 			// each rank the subset with its index").
@@ -127,9 +192,21 @@ func runRanks(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions, em
 				go func() {
 					defer loaders.Done()
 					for i := range work {
+						if ctx.Err() != nil {
+							return
+						}
 						ps := poses[i]
-						s := fusion.FeaturizeComplex(ps.CompoundID, p, ps.Mol, 0, o.Voxel, o.Graph)
-						ready <- loaded{idx: i, sample: s}
+						var s *fusion.Sample
+						if needFeatures {
+							s = fusion.FeaturizeComplex(ps.CompoundID, p, ps.Mol, 0, vo, gro)
+						} else {
+							s = &fusion.Sample{ID: ps.CompoundID, Pocket: p, Mol: ps.Mol}
+						}
+						select {
+						case ready <- loaded{idx: i, sample: s}:
+						case <-ctx.Done():
+							return
+						}
 					}
 				}()
 			}
@@ -142,65 +219,132 @@ func runRanks(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions, em
 				close(ready)
 			}()
 			// Batched inference loop: accumulate featurized samples up
-			// to the batch size, score them in one forward pass, emit.
+			// to the batch size, score them — one forward pass per
+			// scorer over the shared batch — and emit.
 			idxs := make([]int, 0, bs)
 			batch := make([]*fusion.Sample, 0, bs)
-			flush := func() {
+			flush := func() bool {
 				if len(batch) == 0 {
-					return
+					return true
 				}
-				preds := replica.PredictBatch(batch)
+				if ctx.Err() != nil {
+					return false
+				}
+				primary := replicas[0].ScoreBatch(batch)
+				var extra [][]float64
+				if ensemble {
+					extra = make([][]float64, len(replicas))
+					extra[0] = primary
+					for si := 1; si < len(replicas); si++ {
+						extra[si] = replicas[si].ScoreBatch(batch)
+					}
+				}
 				for j, idx := range idxs {
 					ps := poses[idx]
-					emit(idx, Prediction{
+					var gbsa float64
+					switch {
+					case mmgbsaIdx == 0:
+						gbsa = primary[j]
+					case mmgbsaIdx > 0:
+						gbsa = extra[mmgbsaIdx][j]
+					default:
+						gbsa = mmgbsa.Rescore(p, ps.Mol)
+					}
+					pr := Prediction{
 						CompoundID: ps.CompoundID,
 						Target:     p.Name,
 						PoseRank:   ps.PoseRank,
-						Fusion:     preds[j],
+						Fusion:     orientToPK(scorers[0], primary[j]),
 						Vina:       ps.VinaScore,
-						MMGBSA:     mmgbsa.Rescore(p, ps.Mol),
+						MMGBSA:     gbsa,
 						Rank:       rank,
-					})
+					}
+					if ensemble {
+						pr.Scores = make(map[string]float64, len(scorers))
+						for si, s := range scorers {
+							pr.Scores[s.Name()] = extra[si][j]
+						}
+					}
+					emit(idx, pr)
 				}
 				idxs = idxs[:0]
 				batch = batch[:0]
+				return true
 			}
 			for ld := range ready {
 				idxs = append(idxs, ld.idx)
 				batch = append(batch, ld.sample)
 				if len(batch) == bs {
-					flush()
+					if !flush() {
+						return // cancelled mid-job; loaders exit via ctx
+					}
 				}
 			}
 			flush()
 		}(rank)
 	}
 	wg.Wait() // the paper's allgather barrier
+	return ctx.Err()
 }
 
-// RunJob scores all poses against the target with the Fusion model on
-// the batched engine, gathering results across ranks into input order.
-func RunJob(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) ([]Prediction, error) {
+// checkJob validates the common job invariants.
+func checkJob(scorers []Scorer, o JobOptions) error {
+	if err := ValidateScorerSet(scorers); err != nil {
+		return err
+	}
 	if o.Ranks < 1 {
-		return nil, fmt.Errorf("screen: need at least 1 rank")
+		return fmt.Errorf("screen: need at least 1 rank")
+	}
+	return nil
+}
+
+// RunJob scores all poses against the target with one scorer on the
+// batched engine, gathering results across ranks into input order.
+// Any Scorer runs here: a fusion model, a physics surrogate, or a
+// Consensus.
+func RunJob(ctx context.Context, s Scorer, p *target.Pocket, poses []Pose, o JobOptions) ([]Prediction, error) {
+	return RunJobEnsemble(ctx, []Scorer{s}, p, poses, o)
+}
+
+// RunJobEnsemble scores all poses with every scorer in one pass:
+// featurize once, score N ways. The primary (first) scorer fills the
+// legacy Fusion column; every scorer's prediction lands in
+// Prediction.Scores and becomes its own shard column.
+func RunJobEnsemble(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []Pose, o JobOptions) ([]Prediction, error) {
+	if err := checkJob(scorers, o); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if injectFailure(o) {
 		return nil, ErrJobFailed
 	}
 	out := make([]Prediction, len(poses))
-	runRanks(f, p, poses, o, func(idx int, pr Prediction) { out[idx] = pr })
+	if err := runRanks(ctx, scorers, p, poses, o, func(idx int, pr Prediction) { out[idx] = pr }); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // RunJobWithRetry resubmits a failed job with a fresh seed, the
 // paper's fault-tolerance strategy ("when a job fails ... another job
 // takes its place, and only a small set of compounds are affected").
-func RunJobWithRetry(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions, maxAttempts int) ([]Prediction, int, error) {
+// Cancellation is not retried: a cancelled attempt aborts the loop.
+func RunJobWithRetry(ctx context.Context, s Scorer, p *target.Pocket, poses []Pose, o JobOptions, maxAttempts int) ([]Prediction, int, error) {
+	return RunJobEnsembleWithRetry(ctx, []Scorer{s}, p, poses, o, maxAttempts)
+}
+
+// RunJobEnsembleWithRetry is RunJobWithRetry over a scorer ensemble.
+func RunJobEnsembleWithRetry(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []Pose, o JobOptions, maxAttempts int) ([]Prediction, int, error) {
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		preds, err := RunJob(f, p, poses, o)
+		preds, err := RunJobEnsemble(ctx, scorers, p, poses, o)
 		if err == nil {
 			return preds, attempt + 1, nil
+		}
+		if ctx.Err() != nil {
+			return nil, attempt + 1, ctx.Err()
 		}
 		lastErr = err
 		o.Seed++
@@ -208,21 +352,35 @@ func RunJobWithRetry(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOpti
 	return nil, maxAttempts, fmt.Errorf("screen: job failed after %d attempts: %w", maxAttempts, lastErr)
 }
 
+// DockProblem records one compound the docking stage rejected and why
+// — the funnel tolerates bad inputs, but no longer silently.
+type DockProblem struct {
+	CompoundID string
+	Reason     string
+}
+
+func (p DockProblem) String() string { return p.CompoundID + ": " + p.Reason }
+
 // DockCompounds runs the ConveyorLC docking stage for a compound set,
-// producing the pose queue for Fusion scoring. Compounds that fail
-// preparation or docking are skipped (logged in the return count),
-// matching the production funnel's tolerance of bad inputs.
-func DockCompounds(p *target.Pocket, mols []*chem.Mol, maxPoses int, seed int64) ([]Pose, int) {
+// producing the pose queue for scoring. Compounds that fail
+// preparation or docking are skipped and reported as DockProblems
+// (sorted by compound ID), matching the production funnel's tolerance
+// of bad inputs without discarding the evidence. Cancelling ctx stops
+// the stage between compounds and returns ctx.Err().
+func DockCompounds(ctx context.Context, p *target.Pocket, mols []*chem.Mol, maxPoses int, seed int64) ([]Pose, []DockProblem, error) {
 	so := dock.DefaultSearchOptions()
 	so.NumPoses = maxPoses
 	so.MCSteps = 30
 	so.Restarts = 4
 	var mu sync.Mutex
 	var poses []Pose
-	skipped := 0
+	var problems []DockProblem
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, 8)
 	for _, m := range mols {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(m *chem.Mol) {
@@ -237,7 +395,7 @@ func DockCompounds(p *target.Pocket, mols []*chem.Mol, maxPoses int, seed int64)
 			mu.Lock()
 			defer mu.Unlock()
 			if len(ps) == 0 {
-				skipped++
+				problems = append(problems, DockProblem{CompoundID: m.Name, Reason: "no pose survived the search"})
 				return
 			}
 			for _, dp := range ps {
@@ -246,7 +404,13 @@ func DockCompounds(p *target.Pocket, mols []*chem.Mol, maxPoses int, seed int64)
 		}(m)
 	}
 	wg.Wait()
-	return poses, skipped
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	// Goroutines finish in scheduling order; report problems
+	// deterministically.
+	sort.Slice(problems, func(a, b int) bool { return problems[a].CompoundID < problems[b].CompoundID })
+	return poses, problems, nil
 }
 
 // compoundHash is the stable FNV-1a identity used for per-compound
@@ -265,12 +429,18 @@ func ShardOf(compoundID string, shards int) int {
 	return int(compoundHash(compoundID) % uint64(shards))
 }
 
+// scorerColumnPrefix namespaces per-scorer prediction datasets in the
+// shard layout.
+const scorerColumnPrefix = "score_"
+
 // WriteShards distributes predictions across per-rank h5lite files,
 // mirroring the paper's parallel output stage where each rank writes
 // compounds assigned to the same files and directories: sharding is
 // keyed by compound-ID hash, so every pose of a compound lands in the
 // same shard file. Shard layout: root group "dock" / target /
-// datasets ids, poses, fusion, vina, mmgbsa.
+// datasets ids, poses, fusion, vina, mmgbsa, plus one "score_<name>"
+// dataset per ensemble scorer (single-scorer jobs keep the exact
+// legacy layout).
 func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 	if shards < 1 {
 		shards = 1
@@ -280,6 +450,7 @@ func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 		ids                []string
 		poseRanks          []float64
 		fusion, vina, gbsa []float64
+		extra              map[string][]float64
 	}
 	byShard := make([]map[string]*cols, shards)
 	for i := range files {
@@ -290,7 +461,7 @@ func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 		s := ShardOf(pr.CompoundID, shards)
 		c, ok := byShard[s][pr.Target]
 		if !ok {
-			c = &cols{}
+			c = &cols{extra: map[string][]float64{}}
 			byShard[s][pr.Target] = c
 		}
 		c.ids = append(c.ids, pr.CompoundID)
@@ -298,6 +469,12 @@ func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 		c.fusion = append(c.fusion, pr.Fusion)
 		c.vina = append(c.vina, pr.Vina)
 		c.gbsa = append(c.gbsa, pr.MMGBSA)
+		// Per-scorer ensemble columns stay aligned with ids: every
+		// prediction of a group carries the same scorer set (one
+		// engine run), so each name grows in lockstep.
+		for name, v := range pr.Scores {
+			c.extra[name] = append(c.extra[name], v)
+		}
 	}
 	for s, targets := range byShard {
 		root := files[s].Root().Group("dock")
@@ -308,6 +485,9 @@ func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 			g.SetFloats("fusion_pk", c.fusion)
 			g.SetFloats("vina_kcal", c.vina)
 			g.SetFloats("mmgbsa_kcal", c.gbsa)
+			for name, vals := range c.extra {
+				g.SetFloats(scorerColumnPrefix+name, vals)
+			}
 		}
 	}
 	return files
@@ -315,10 +495,10 @@ func WriteShards(preds []Prediction, shards int) []*h5lite.File {
 
 // ReadShards is the inverse of WriteShards: it folds the per-target
 // prediction columns of the given shard files back into a flat
-// prediction list. Pose order within a target group is preserved per
-// shard; the simulated-rank attribution is not stored in shards and
-// comes back as zero. Ragged column lengths report an error naming
-// the target group.
+// prediction list, including any per-scorer ensemble columns. Pose
+// order within a target group is preserved per shard; the
+// simulated-rank attribution is not stored in shards and comes back as
+// zero. Ragged column lengths report an error naming the target group.
 func ReadShards(files []*h5lite.File) ([]Prediction, error) {
 	var out []Prediction
 	for _, f := range files {
@@ -337,15 +517,33 @@ func ReadShards(files []*h5lite.File) ([]Prediction, error) {
 				len(ids) != len(vina) || len(ids) != len(gbsa) {
 				return nil, fmt.Errorf("screen: ragged shard columns for target %s", tgt)
 			}
+			extra := map[string][]float64{}
+			for _, name := range g.FloatNames() {
+				if !strings.HasPrefix(name, scorerColumnPrefix) {
+					continue
+				}
+				vals, _ := g.Floats(name)
+				if len(vals) != len(ids) {
+					return nil, fmt.Errorf("screen: ragged shard columns for target %s", tgt)
+				}
+				extra[strings.TrimPrefix(name, scorerColumnPrefix)] = vals
+			}
 			for i := range ids {
-				out = append(out, Prediction{
+				pr := Prediction{
 					CompoundID: ids[i],
 					Target:     tgt,
 					PoseRank:   int(ranks[i]),
 					Fusion:     fusion[i],
 					Vina:       vina[i],
 					MMGBSA:     gbsa[i],
-				})
+				}
+				if len(extra) > 0 {
+					pr.Scores = make(map[string]float64, len(extra))
+					for name, vals := range extra {
+						pr.Scores[name] = vals[i]
+					}
+				}
+				out = append(out, pr)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package screen
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -54,12 +55,17 @@ func testMols(t *testing.T, n int) []*chem.Mol {
 
 func TestDockCompoundsProducesPoses(t *testing.T) {
 	mols := testMols(t, 4)
-	poses, skipped := DockCompounds(target.Spike1, mols, 3, 7)
+	poses, problems, _ := DockCompounds(context.Background(), target.Spike1, mols, 3, 7)
 	if len(poses) == 0 {
 		t.Fatal("no poses")
 	}
-	if skipped == len(mols) {
+	if len(problems) == len(mols) {
 		t.Fatal("all compounds skipped")
+	}
+	for _, p := range problems {
+		if p.CompoundID == "" || p.Reason == "" {
+			t.Fatalf("dock problem missing identity or reason: %+v", p)
+		}
 	}
 	perCompound := map[string]int{}
 	for _, p := range poses {
@@ -78,9 +84,9 @@ func TestDockCompoundsProducesPoses(t *testing.T) {
 func TestRunJobScoresAllPoses(t *testing.T) {
 	f := tinyFusion(t)
 	mols := testMols(t, 3)
-	poses, _ := DockCompounds(target.Spike1, mols, 2, 8)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike1, mols, 2, 8)
 	o := tinyJobOptions()
-	preds, err := RunJob(f, target.Spike1, poses, o)
+	preds, err := RunJob(context.Background(), f, target.Spike1, poses, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,9 +113,9 @@ func TestRunJobMatchesSerialPrediction(t *testing.T) {
 	// serial inference with the same model.
 	f := tinyFusion(t)
 	mols := testMols(t, 2)
-	poses, _ := DockCompounds(target.Protease1, mols, 2, 9)
+	poses, _, _ := DockCompounds(context.Background(), target.Protease1, mols, 2, 9)
 	o := tinyJobOptions()
-	preds, err := RunJob(f, target.Protease1, poses, o)
+	preds, err := RunJob(context.Background(), f, target.Protease1, poses, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +132,7 @@ func TestRunJobZeroRanksErrors(t *testing.T) {
 	f := tinyFusion(t)
 	o := tinyJobOptions()
 	o.Ranks = 0
-	if _, err := RunJob(f, target.Spike1, nil, o); err == nil {
+	if _, err := RunJob(context.Background(), f, target.Spike1, nil, o); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -134,20 +140,20 @@ func TestRunJobZeroRanksErrors(t *testing.T) {
 func TestRunJobFaultInjectionAndRetry(t *testing.T) {
 	f := tinyFusion(t)
 	mols := testMols(t, 1)
-	poses, _ := DockCompounds(target.Spike1, mols, 1, 10)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike1, mols, 1, 10)
 	o := tinyJobOptions()
 	o.FailureProb = 1.0
-	if _, err := RunJob(f, target.Spike1, poses, o); !errors.Is(err, ErrJobFailed) {
+	if _, err := RunJob(context.Background(), f, target.Spike1, poses, o); !errors.Is(err, ErrJobFailed) {
 		t.Fatalf("expected ErrJobFailed, got %v", err)
 	}
 	// Retry keeps resubmitting; with probability 1 it exhausts attempts.
-	if _, attempts, err := RunJobWithRetry(f, target.Spike1, poses, o, 3); err == nil || attempts != 3 {
+	if _, attempts, err := RunJobWithRetry(context.Background(), f, target.Spike1, poses, o, 3); err == nil || attempts != 3 {
 		t.Fatalf("retry should exhaust 3 attempts, got %d / %v", attempts, err)
 	}
 	// Moderate failure probability eventually succeeds.
 	o.FailureProb = 0.5
 	o.Seed = 2
-	preds, attempts, err := RunJobWithRetry(f, target.Spike1, poses, o, 20)
+	preds, attempts, err := RunJobWithRetry(context.Background(), f, target.Spike1, poses, o, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +178,7 @@ func TestDockCompoundsSeedsDifferForSameLengthNames(t *testing.T) {
 	if compoundHash(a.Name) == compoundHash(b.Name) {
 		t.Fatal("name hash collides for distinct same-length names")
 	}
-	poses, _ := DockCompounds(target.Spike1, []*chem.Mol{a, b}, 2, 31)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike1, []*chem.Mol{a, b}, 2, 31)
 	byName := map[string][]Pose{}
 	for _, p := range poses {
 		byName[p.CompoundID] = append(byName[p.CompoundID], p)
@@ -385,14 +391,14 @@ func TestRunJobConcurrentJobs(t *testing.T) {
 	// clones, so concurrent jobs cannot race (run under -race).
 	f := tinyFusion(t)
 	mols := testMols(t, 2)
-	poses, _ := DockCompounds(target.Spike2, mols, 2, 30)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike2, mols, 2, 30)
 	o := tinyJobOptions()
 	done := make(chan error, 3)
 	for j := 0; j < 3; j++ {
 		go func(seed int64) {
 			oo := o
 			oo.Seed = seed
-			_, err := RunJob(f, target.Spike2, poses, oo)
+			_, err := RunJob(context.Background(), f, target.Spike2, poses, oo)
 			done <- err
 		}(int64(j))
 	}

@@ -3,6 +3,7 @@ package screen
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -143,7 +144,7 @@ func samePredictionSet(a, b []Prediction) bool {
 	}
 	na, nb := norm(a), norm(b)
 	for i := range na {
-		if na[i] != nb[i] {
+		if !reflect.DeepEqual(na[i], nb[i]) {
 			return false
 		}
 	}

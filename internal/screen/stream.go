@@ -1,9 +1,9 @@
 package screen
 
 import (
+	"context"
 	"fmt"
 
-	"deepfusion/internal/fusion"
 	"deepfusion/internal/target"
 )
 
@@ -14,31 +14,48 @@ import (
 // allgather, each rank hands finished predictions to the output
 // channel as its batches complete.
 //
-// RunJobStreaming runs on the same batched engine as RunJob (per-rank
-// replicas, parallel data loaders, PredictBatch-sized inference
-// batches) and honors FailureProb identically: a failed job delivers
-// nothing and reports ErrJobFailed from the wait function.
+// RunJobStreaming runs any Scorer on the same batched engine as
+// RunJob (per-rank replicas, parallel data loaders, ScoreBatch-sized
+// inference batches) and honors FailureProb identically: a failed job
+// delivers nothing and reports ErrJobFailed from the wait function.
+// Cancelling ctx stops the job within one batch; the wait function
+// then reports the context error.
 //
 // It returns a channel that delivers predictions as they are scored
 // (in completion order, not input order) and a wait function that
 // blocks until the job drains and reports any injected failure. A
 // consumer that needs the original order can reassemble by the
 // Prediction's identifiers.
-func RunJobStreaming(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions) (<-chan Prediction, func() error) {
+func RunJobStreaming(ctx context.Context, s Scorer, p *target.Pocket, poses []Pose, o JobOptions) (<-chan Prediction, func() error) {
+	return RunJobStreamingEnsemble(ctx, []Scorer{s}, p, poses, o)
+}
+
+// RunJobStreamingEnsemble is the streaming analogue of
+// RunJobEnsemble: featurize once, score with every scorer, stream
+// predictions (with per-scorer Scores) as batches complete.
+func RunJobStreamingEnsemble(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []Pose, o JobOptions) (<-chan Prediction, func() error) {
 	out := make(chan Prediction, o.Ranks*4+4)
 	errc := make(chan error, 1)
 	go func() {
 		defer close(out)
-		if o.Ranks < 1 {
-			errc <- fmt.Errorf("screen: need at least 1 rank")
+		if err := checkJob(scorers, o); err != nil {
+			errc <- err
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			errc <- err
 			return
 		}
 		if injectFailure(o) {
 			errc <- ErrJobFailed
 			return
 		}
-		runRanks(f, p, poses, o, func(_ int, pr Prediction) { out <- pr })
-		errc <- nil
+		errc <- runRanks(ctx, scorers, p, poses, o, func(_ int, pr Prediction) {
+			select {
+			case out <- pr:
+			case <-ctx.Done():
+			}
+		})
 	}()
 	return out, func() error { return <-errc }
 }
@@ -48,8 +65,9 @@ func RunJobStreaming(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOpti
 // one succeeds or maxAttempts is exhausted. Failures are injected
 // before any pose is scored, so the output channel carries exactly the
 // successful attempt's predictions (no duplicates from failed runs).
-// The wait function reports how many attempts ran and the final error.
-func RunJobStreamingWithRetry(f *fusion.Fusion, p *target.Pocket, poses []Pose, o JobOptions, maxAttempts int) (<-chan Prediction, func() (int, error)) {
+// Cancellation is not retried. The wait function reports how many
+// attempts ran and the final error.
+func RunJobStreamingWithRetry(ctx context.Context, s Scorer, p *target.Pocket, poses []Pose, o JobOptions, maxAttempts int) (<-chan Prediction, func() (int, error)) {
 	out := make(chan Prediction, o.Ranks*4+4)
 	type result struct {
 		attempts int
@@ -64,7 +82,7 @@ func RunJobStreamingWithRetry(f *fusion.Fusion, p *target.Pocket, poses []Pose, 
 		}
 		var lastErr error
 		for attempt := 0; attempt < maxAttempts; attempt++ {
-			ch, wait := RunJobStreaming(f, p, poses, o)
+			ch, wait := RunJobStreaming(ctx, s, p, poses, o)
 			for pr := range ch {
 				out <- pr
 			}
@@ -73,6 +91,10 @@ func RunJobStreamingWithRetry(f *fusion.Fusion, p *target.Pocket, poses []Pose, 
 				return
 			} else {
 				lastErr = err
+			}
+			if err := ctx.Err(); err != nil {
+				resc <- result{attempts: attempt + 1, err: err}
+				return
 			}
 			o.Seed++
 		}

@@ -1,6 +1,7 @@
 package screen
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -10,9 +11,9 @@ import (
 func TestStreamingJobDeliversAll(t *testing.T) {
 	f := tinyFusion(t)
 	mols := testMols(t, 3)
-	poses, _ := DockCompounds(target.Spike1, mols, 2, 20)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike1, mols, 2, 20)
 	o := tinyJobOptions()
-	ch, wait := RunJobStreaming(f, target.Spike1, poses, o)
+	ch, wait := RunJobStreaming(context.Background(), f, target.Spike1, poses, o)
 	seen := map[string]int{}
 	n := 0
 	for pr := range ch {
@@ -37,9 +38,9 @@ func TestStreamingMatchesBatch(t *testing.T) {
 	// Streaming and batch jobs must produce identical prediction sets.
 	f := tinyFusion(t)
 	mols := testMols(t, 2)
-	poses, _ := DockCompounds(target.Protease1, mols, 2, 21)
+	poses, _, _ := DockCompounds(context.Background(), target.Protease1, mols, 2, 21)
 	o := tinyJobOptions()
-	batch, err := RunJob(f, target.Protease1, poses, o)
+	batch, err := RunJob(context.Background(), f, target.Protease1, poses, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestStreamingMatchesBatch(t *testing.T) {
 	for _, pr := range batch {
 		want[key(pr)] = pr.Fusion
 	}
-	ch, wait := RunJobStreaming(f, target.Protease1, poses, o)
+	ch, wait := RunJobStreaming(context.Background(), f, target.Protease1, poses, o)
 	got := map[string]float64{}
 	for pr := range ch {
 		got[key(pr)] = pr.Fusion
@@ -74,10 +75,10 @@ func TestStreamingFailureInjection(t *testing.T) {
 	// FailureProb 1 nothing streams and the wait reports ErrJobFailed.
 	f := tinyFusion(t)
 	mols := testMols(t, 1)
-	poses, _ := DockCompounds(target.Spike1, mols, 1, 22)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike1, mols, 1, 22)
 	o := tinyJobOptions()
 	o.FailureProb = 1.0
-	ch, wait := RunJobStreaming(f, target.Spike1, poses, o)
+	ch, wait := RunJobStreaming(context.Background(), f, target.Spike1, poses, o)
 	for range ch {
 		t.Fatal("failed job must stream nothing")
 	}
@@ -89,11 +90,11 @@ func TestStreamingFailureInjection(t *testing.T) {
 func TestStreamingRetryParity(t *testing.T) {
 	f := tinyFusion(t)
 	mols := testMols(t, 1)
-	poses, _ := DockCompounds(target.Spike1, mols, 1, 23)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike1, mols, 1, 23)
 	o := tinyJobOptions()
 	// Certain failure: retries exhaust, nothing streams.
 	o.FailureProb = 1.0
-	ch, wait := RunJobStreamingWithRetry(f, target.Spike1, poses, o, 3)
+	ch, wait := RunJobStreamingWithRetry(context.Background(), f, target.Spike1, poses, o, 3)
 	for range ch {
 		t.Fatal("exhausted retries must stream nothing")
 	}
@@ -104,7 +105,7 @@ func TestStreamingRetryParity(t *testing.T) {
 	// every pose exactly once.
 	o.FailureProb = 0.5
 	o.Seed = 2
-	ch, wait = RunJobStreamingWithRetry(f, target.Spike1, poses, o, 20)
+	ch, wait = RunJobStreamingWithRetry(context.Background(), f, target.Spike1, poses, o, 20)
 	n := 0
 	for range ch {
 		n++
@@ -124,7 +125,7 @@ func TestStreamingRetryParity(t *testing.T) {
 func TestStreamingRetryRejectsZeroAttempts(t *testing.T) {
 	f := tinyFusion(t)
 	o := tinyJobOptions()
-	ch, wait := RunJobStreamingWithRetry(f, target.Spike1, nil, o, 0)
+	ch, wait := RunJobStreamingWithRetry(context.Background(), f, target.Spike1, nil, o, 0)
 	for range ch {
 		t.Fatal("zero attempts must stream nothing")
 	}
@@ -137,10 +138,10 @@ func TestStreamingHonorsBatchSizeOne(t *testing.T) {
 	// BatchSize clamps to 1 and still scores everything.
 	f := tinyFusion(t)
 	mols := testMols(t, 2)
-	poses, _ := DockCompounds(target.Spike2, mols, 2, 24)
+	poses, _, _ := DockCompounds(context.Background(), target.Spike2, mols, 2, 24)
 	o := tinyJobOptions()
 	o.BatchSize = 0
-	ch, wait := RunJobStreaming(f, target.Spike2, poses, o)
+	ch, wait := RunJobStreaming(context.Background(), f, target.Spike2, poses, o)
 	n := 0
 	for range ch {
 		n++
@@ -157,7 +158,7 @@ func TestStreamingZeroRanks(t *testing.T) {
 	f := tinyFusion(t)
 	o := tinyJobOptions()
 	o.Ranks = 0
-	ch, wait := RunJobStreaming(f, target.Spike1, nil, o)
+	ch, wait := RunJobStreaming(context.Background(), f, target.Spike1, nil, o)
 	for range ch {
 		t.Fatal("no predictions expected")
 	}

@@ -1,0 +1,182 @@
+package deepfusion
+
+import (
+	"context"
+	"fmt"
+
+	"deepfusion/internal/dock"
+	"deepfusion/internal/mmgbsa"
+	"deepfusion/internal/screen"
+)
+
+// Scorer is the one scoring contract of the funnel (screen.Scorer):
+// every fusion model family, the Vina and MM/GBSA physics surrogates,
+// and Consensus all implement it, and the distributed engine screens
+// any of them — alone or as an ensemble sharing one featurization
+// pass.
+type Scorer = screen.Scorer
+
+// Prediction is one scored pose (screen.Prediction): the primary
+// scorer's value plus, for ensembles, every scorer's prediction keyed
+// by name.
+type Prediction = screen.Prediction
+
+// DockProblem names a compound the docking stage rejected and why.
+type DockProblem = screen.DockProblem
+
+// VinaScorer returns the Vina docking-score surrogate as a Scorer.
+func VinaScorer() Scorer { return dock.VinaScorer{} }
+
+// MMGBSAScorer returns the MM/GBSA rescoring surrogate as a Scorer.
+func MMGBSAScorer() Scorer { return mmgbsa.Scorer{} }
+
+// NewConsensus combines scorers into a single consensus Scorer (mean
+// of pK-oriented member scores, featurizing each pose once).
+func NewConsensus(members ...Scorer) (Scorer, error) { return screen.NewConsensus(members...) }
+
+// Scorer returns the named trained model as a screening Scorer:
+// cnn3d, sgcnn, late, mid or coherent.
+func (m *Models) Scorer(name string) (Scorer, error) {
+	switch name {
+	case "cnn3d":
+		return m.CNN3D, nil
+	case "sgcnn":
+		return m.SGCNN, nil
+	case "late":
+		return m.Late, nil
+	case "mid":
+		return m.Mid, nil
+	case "coherent":
+		return m.Coherent, nil
+	}
+	return nil, fmt.Errorf("deepfusion: unknown model scorer %q (want cnn3d|sgcnn|late|mid|coherent)", name)
+}
+
+// Result is the rich outcome of a Pipeline run: per-stage counts, the
+// docking rejections the legacy API used to swallow, retry
+// accounting, and the full prediction set (with per-scorer columns
+// for ensembles) behind the ranked selection.
+type Result struct {
+	Target      string
+	ScorerNames []string // the scorer set, primary first
+
+	// Docking stage.
+	Compounds int           // compounds entering the funnel
+	Docked    int           // poses produced
+	Rejected  int           // compounds the docking stage rejected
+	Problems  []DockProblem // why, per rejected compound
+
+	// Scoring stage.
+	Attempts int // scoring job attempts consumed (>1 means retries)
+	Scored   int // pose predictions produced
+
+	// Selection stage.
+	Predictions []Prediction    // every pose-level prediction
+	Scores      []CompoundScore // per-compound aggregation, input order
+	Selected    []CompoundScore // ranked by the selection cost function
+}
+
+// Pipeline is the composable screening funnel: dock -> distributed
+// ensemble scoring -> per-compound aggregation -> cost-function
+// selection. Build one with NewPipeline, refine it with the With*
+// options (each returns the pipeline for chaining), and execute with
+// Run. The zero configuration screens with the Coherent Fusion model
+// and the paper's default selection weights.
+type Pipeline struct {
+	scorers     []Scorer
+	job         screen.JobOptions
+	weights     screen.CostWeights
+	maxPoses    int
+	selectN     int
+	maxAttempts int
+	seed        int64
+}
+
+// NewPipeline builds a screening pipeline over the trained models,
+// defaulting to the Coherent Fusion scorer — the paper's production
+// choice — with repro-scale docking and job options.
+func NewPipeline(m *Models) *Pipeline {
+	o := DefaultScreenOptions()
+	return &Pipeline{
+		scorers:     []Scorer{m.Coherent},
+		job:         o.Job,
+		weights:     screen.DefaultCostWeights(),
+		maxPoses:    o.MaxPoses,
+		maxAttempts: 3,
+		seed:        o.Seed,
+	}
+}
+
+// WithScorers replaces the scorer set. The first scorer is primary:
+// its prediction fills the selection-facing fusion column. Two or
+// more scorers run as an ensemble — featurized once, scored N ways,
+// with per-scorer columns in Result.Predictions and output shards.
+func (p *Pipeline) WithScorers(scorers ...Scorer) *Pipeline {
+	p.scorers = scorers
+	return p
+}
+
+// WithSelection sets the selection cost weights and the number of
+// compounds to select (n <= 0 selects all).
+func (p *Pipeline) WithSelection(w screen.CostWeights, n int) *Pipeline {
+	p.weights = w
+	p.selectN = n
+	return p
+}
+
+// WithJob replaces the distributed-job options (ranks, loaders, batch
+// size, failure injection).
+func (p *Pipeline) WithJob(o screen.JobOptions) *Pipeline {
+	p.job = o
+	return p
+}
+
+// WithDocking sets the per-compound pose cap and the docking seed.
+func (p *Pipeline) WithDocking(maxPoses int, seed int64) *Pipeline {
+	p.maxPoses = maxPoses
+	p.seed = seed
+	return p
+}
+
+// WithRetry sets the scoring-job retry budget.
+func (p *Pipeline) WithRetry(maxAttempts int) *Pipeline {
+	p.maxAttempts = maxAttempts
+	return p
+}
+
+// Run executes the funnel for one target: dock every compound, score
+// all poses with the distributed job, aggregate to per-compound
+// scores, and rank with the selection cost function. Cancelling ctx
+// stops docking between compounds and scoring within one inference
+// batch.
+func (p *Pipeline) Run(ctx context.Context, tgt *Pocket, compounds []*Mol) (*Result, error) {
+	if len(p.scorers) == 0 {
+		return nil, fmt.Errorf("deepfusion: pipeline has no scorers")
+	}
+	poses, problems, err := screen.DockCompounds(ctx, tgt, compounds, p.maxPoses, p.seed)
+	if err != nil {
+		return nil, err
+	}
+	preds, attempts, err := screen.RunJobEnsembleWithRetry(ctx, p.scorers, tgt, poses, p.job, p.maxAttempts)
+	if err != nil {
+		return nil, err
+	}
+	scores := screen.AggregateByCompound(preds)
+	n := p.selectN
+	if n <= 0 || n > len(scores) {
+		n = len(scores)
+	}
+	return &Result{
+		Target:      tgt.Name,
+		ScorerNames: screen.ScorerNames(p.scorers),
+		Compounds:   len(compounds),
+		Docked:      len(poses),
+		Rejected:    len(problems),
+		Problems:    problems,
+		Attempts:    attempts,
+		Scored:      len(preds),
+		Predictions: preds,
+		Scores:      scores,
+		Selected:    screen.SelectForExperiment(scores, p.weights, n),
+	}, nil
+}
