@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-report clean
+.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-kernels bench-report bench-smoke clean
 
 all: build
 
@@ -43,13 +43,29 @@ bench-screen:
 bench-consensus:
 	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkConsensus' -benchtime 2s | tee bench_consensus.txt
 
+# Inference-engine performance trajectory: before/after pairs for
+# MatMul, Conv3D, PredictBatch and RunJob across the allocating and
+# pooled paths (cmd/benchreport/kernels.go). BENCH_4.json is the
+# committed trajectory artifact of the zero-allocation PR; CI uploads
+# a fresh copy as a workflow artifact.
+bench-kernels:
+	$(GO) run ./cmd/benchreport -kernels -json > BENCH_4.json
+	@echo "wrote BENCH_4.json"
+
 # Paper tables and figures as machine-readable JSON (smoke budget;
 # pass FULL=1 for the full budget).
 bench-report:
 	$(GO) run ./cmd/benchreport $(if $(FULL),-full) -json > bench_report.json
 	@echo "wrote bench_report.json"
 
-bench: bench-screen bench-consensus bench-report
+# One-iteration pass over every benchmark in the repo so benchmark
+# code cannot rot; CI runs this on every push. BENCH_SCALE=smoke drops
+# the paper-table benchmarks to the smoke budget — this is a
+# compile-and-run rot check, not a measurement.
+bench-smoke:
+	BENCH_SCALE=smoke $(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+bench: bench-screen bench-consensus bench-kernels bench-report
 
 clean:
 	rm -f bench_screen.txt bench_consensus.txt bench_report.json

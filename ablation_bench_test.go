@@ -41,6 +41,7 @@ func ablationSamples(n int) (train, val []*fusion.Sample) {
 // (Section 3.3.1 argues it prevents learning rotation-dependent
 // features).
 func BenchmarkAblationRotationAugmentation(b *testing.B) {
+	b.ReportAllocs()
 	var withAug, noAug float64
 	for i := 0; i < b.N; i++ {
 		train, val := ablationSamples(160)
@@ -64,6 +65,7 @@ func BenchmarkAblationRotationAugmentation(b *testing.B) {
 // BenchmarkAblationPB2VsRandom compares PB2 against pure random search
 // at an equal training budget on the SG-CNN space.
 func BenchmarkAblationPB2VsRandom(b *testing.B) {
+	b.ReportAllocs()
 	var pb2Best, randBest float64
 	for i := 0; i < b.N; i++ {
 		train, val := ablationSamples(140)
@@ -112,6 +114,7 @@ func BenchmarkAblationPB2VsRandom(b *testing.B) {
 // identical fusion architecture, coherent backpropagation into the
 // heads against frozen heads.
 func BenchmarkAblationCoherence(b *testing.B) {
+	b.ReportAllocs()
 	var frozen, coherent float64
 	for i := 0; i < b.N; i++ {
 		train, val := ablationSamples(160)
@@ -144,6 +147,7 @@ func BenchmarkAblationCoherence(b *testing.B) {
 // of the distributed scoring job at 1, 2, 4 and 8 goroutine ranks —
 // the real-concurrency counterpart of the simulated Figure 4.
 func BenchmarkRealRankScaling(b *testing.B) {
+	b.ReportAllocs()
 	coherent := experiments.Coherent(experiments.Smoke)
 	var mols []*chem.Mol
 	for i := 0; len(mols) < 12; i++ {
@@ -178,6 +182,7 @@ func BenchmarkRealRankScaling(b *testing.B) {
 // Fusion model. It reports validation MSE on one binding site before
 // and after specialization.
 func BenchmarkFutureWorkFineTune(b *testing.B) {
+	b.ReportAllocs()
 	var before, after float64
 	for i := 0; i < b.N; i++ {
 		train, val := ablationSamples(160)
@@ -221,6 +226,7 @@ func BenchmarkFutureWorkFineTune(b *testing.B) {
 // BenchmarkFutureWorkStreamingOutput compares the end-of-job gather
 // architecture against the paper's proposed streaming per-rank writer.
 func BenchmarkFutureWorkStreamingOutput(b *testing.B) {
+	b.ReportAllocs()
 	coherent := experiments.Coherent(experiments.Smoke)
 	var mols []*chem.Mol
 	for i := 0; len(mols) < 8; i++ {
@@ -266,6 +272,7 @@ func BenchmarkFutureWorkStreamingOutput(b *testing.B) {
 // minimize-anneal-quench protocol improves docked top poses, and what
 // it costs per pose relative to docking.
 func BenchmarkFunnelMDRefinement(b *testing.B) {
+	b.ReportAllocs()
 	var mols []*chem.Mol
 	for i := 0; len(mols) < 6; i++ {
 		m, err := libgen.Enamine.Mol(i)
@@ -312,6 +319,7 @@ func BenchmarkFunnelMDRefinement(b *testing.B) {
 // PB2 (Parker-Holder 2020) adds on top. All three optimizers get the
 // identical training budget on the SG-CNN space.
 func BenchmarkAblationPB2VsPBT(b *testing.B) {
+	b.ReportAllocs()
 	var pb2Best, pbtBest, randBest float64
 	for i := 0; i < b.N; i++ {
 		train, val := ablationSamples(140)
@@ -351,6 +359,7 @@ func BenchmarkAblationPB2VsPBT(b *testing.B) {
 // flexibility against the rigid-body default at the same Monte-Carlo
 // proposal budget, on compounds with several rotatable bonds.
 func BenchmarkAblationFlexibleDocking(b *testing.B) {
+	b.ReportAllocs()
 	smiles := []string{
 		"CCOC(=O)CCc1ccccc1",
 		"CCN(CC)CCNC(=O)c1ccccc1",
@@ -394,6 +403,7 @@ func BenchmarkAblationFlexibleDocking(b *testing.B) {
 // (here, the model forward pass) is intermittently idle. It measures
 // per-pose featurization time against per-pose model inference time.
 func BenchmarkLoaderVsInference(b *testing.B) {
+	b.ReportAllocs()
 	coherent := experiments.Coherent(experiments.Smoke)
 	var mols []*chem.Mol
 	for i := 0; len(mols) < 8; i++ {
@@ -437,6 +447,7 @@ func BenchmarkLoaderVsInference(b *testing.B) {
 // orthogonal confirmation assay) over a compound deck and reports the
 // primary hit and confirmation rates per target.
 func BenchmarkConfirmationScreen(b *testing.B) {
+	b.ReportAllocs()
 	mols := libgen.Draw(libgen.All(), 150)
 	var lines []string
 	for i := 0; i < b.N; i++ {

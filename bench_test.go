@@ -14,15 +14,26 @@ package deepfusion
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"deepfusion/internal/experiments"
 )
 
-// benchScale is the budget used by the table/figure benchmarks.
-const benchScale = experiments.Full
+// benchScale is the budget used by the table/figure benchmarks: Full
+// for the reproduction record. The CI rot check (`make bench-smoke`,
+// one iteration of every benchmark) sets BENCH_SCALE=smoke so that
+// verifying the benchmarks still compile and run does not pay the
+// full training budget.
+var benchScale = func() experiments.Scale {
+	if os.Getenv("BENCH_SCALE") == "smoke" {
+		return experiments.Smoke
+	}
+	return experiments.Full
+}()
 
 func BenchmarkTable1SearchSpace(b *testing.B) {
+	b.ReportAllocs()
 	var txt string
 	for i := 0; i < b.N; i++ {
 		txt = experiments.Table1()
@@ -32,6 +43,7 @@ func BenchmarkTable1SearchSpace(b *testing.B) {
 }
 
 func BenchmarkTable2SGCNNHPO(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.HPOResult
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table2SGCNN(benchScale)
@@ -42,6 +54,7 @@ func BenchmarkTable2SGCNNHPO(b *testing.B) {
 }
 
 func BenchmarkTable3CNN3DHPO(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.HPOResult
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table3CNN3D(benchScale)
@@ -52,6 +65,7 @@ func BenchmarkTable3CNN3DHPO(b *testing.B) {
 }
 
 func BenchmarkTable4MidFusionHPO(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.HPOResult
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table4MidFusion(benchScale)
@@ -62,6 +76,7 @@ func BenchmarkTable4MidFusionHPO(b *testing.B) {
 }
 
 func BenchmarkTable5CoherentHPO(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.HPOResult
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table5Coherent(benchScale)
@@ -72,6 +87,7 @@ func BenchmarkTable5CoherentHPO(b *testing.B) {
 }
 
 func BenchmarkTable6CoreSet(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Table6Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table6(benchScale)
@@ -87,6 +103,7 @@ func BenchmarkTable6CoreSet(b *testing.B) {
 }
 
 func BenchmarkFigure2DockedPR(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Figure2Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Figure2(benchScale)
@@ -98,6 +115,7 @@ func BenchmarkFigure2DockedPR(b *testing.B) {
 }
 
 func BenchmarkTable7Throughput(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Table7Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table7()
@@ -109,6 +127,7 @@ func BenchmarkTable7Throughput(b *testing.B) {
 }
 
 func BenchmarkFigure4StrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Figure4Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Figure4()
@@ -118,6 +137,7 @@ func BenchmarkFigure4StrongScaling(b *testing.B) {
 }
 
 func BenchmarkFigure5Scatter(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Figure5Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Figure5(benchScale)
@@ -127,6 +147,7 @@ func BenchmarkFigure5Scatter(b *testing.B) {
 }
 
 func BenchmarkTable8Correlations(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Table8Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table8(benchScale)
@@ -136,6 +157,7 @@ func BenchmarkTable8Correlations(b *testing.B) {
 }
 
 func BenchmarkFigure6TargetPR(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Figure6Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Figure6(benchScale)
@@ -145,6 +167,7 @@ func BenchmarkFigure6TargetPR(b *testing.B) {
 }
 
 func BenchmarkFigure7TopCompounds(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Figure7Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Figure7(benchScale)
@@ -154,6 +177,7 @@ func BenchmarkFigure7TopCompounds(b *testing.B) {
 }
 
 func BenchmarkHitRate(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.HitRateResult
 	for i := 0; i < b.N; i++ {
 		r = experiments.HitRate(benchScale)
@@ -164,6 +188,7 @@ func BenchmarkHitRate(b *testing.B) {
 }
 
 func BenchmarkPipelineSpeedups(b *testing.B) {
+	b.ReportAllocs()
 	var r experiments.Table7Result
 	for i := 0; i < b.N; i++ {
 		r = experiments.Table7()
@@ -178,6 +203,7 @@ func BenchmarkPipelineSpeedups(b *testing.B) {
 // BenchmarkFigure1Architecture renders the paper's architecture figure
 // (Figure 1) from the trained Coherent Fusion model.
 func BenchmarkFigure1Architecture(b *testing.B) {
+	b.ReportAllocs()
 	var out string
 	for i := 0; i < b.N; i++ {
 		out = experiments.Figure1(benchScale)

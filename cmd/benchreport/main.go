@@ -2,7 +2,10 @@
 // text reports. With no flags it runs every experiment; -exp selects
 // one; -json emits a machine-readable array of {experiment, text}
 // records so the Makefile's bench target can archive the perf
-// trajectory.
+// trajectory. -kernels instead records the inference-engine
+// performance trajectory (before/after pairs for MatMul, Conv3D,
+// PredictBatch and RunJob across the allocating and pooled paths);
+// `make bench` archives its JSON form as BENCH_4.json.
 package main
 
 import (
@@ -22,7 +25,22 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|table1|table2|table3|table4|table5|table6|table7|table8|fig2|fig4|fig5|fig6|fig7|hitrate|all")
 	full := flag.Bool("full", false, "use the full benchmark budget (minutes) instead of the smoke budget")
 	asJSON := flag.Bool("json", false, "emit a JSON array of {experiment, text} records instead of plain text")
+	kernels := flag.Bool("kernels", false, "benchmark the inference engine's allocating vs pooled paths (MatMul, Conv3D, PredictBatch, RunJob) instead of the paper experiments")
 	flag.Parse()
+
+	if *kernels {
+		rep := runKernelReport()
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		printKernelReport(rep)
+		return
+	}
 
 	s := experiments.Smoke
 	if *full {

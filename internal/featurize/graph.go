@@ -55,9 +55,33 @@ func (g *Graph) NumNodes() int { return g.Nodes.Dim(0) }
 // to its nearest non-bonded neighbors (ligand or pocket) within
 // NonCovThreshold, capped at NonCovK.
 func BuildGraph(p *target.Pocket, mol *chem.Mol, o GraphOptions) *Graph {
+	return BuildGraphInto(nil, p, mol, o)
+}
+
+// BuildGraphInto constructs the spatial graph into g, reusing its node
+// tensor (when capacity allows) and edge slices across calls — the
+// caller-buffer entry point the screening loaders recycle pose slots
+// through. A nil g allocates a fresh graph. Internal build scratch
+// (candidate lists, the bonded-pair set) is still per-call; what the
+// reuse eliminates is the per-pose node matrix and edge lists, the
+// allocations that dominate steady-state graph featurization. Results
+// are identical to BuildGraph.
+func BuildGraphInto(g *Graph, p *target.Pocket, mol *chem.Mol, o GraphOptions) *Graph {
 	nl := len(mol.Atoms)
 	np := len(p.Atoms)
-	g := &Graph{NumLigand: nl, Nodes: tensor.New(nl+np, NodeFeatures)}
+	if g == nil {
+		g = &Graph{}
+	}
+	g.NumLigand = nl
+	if g.Nodes == nil || cap(g.Nodes.Data) < (nl+np)*NodeFeatures {
+		g.Nodes = tensor.New(nl+np, NodeFeatures)
+	} else {
+		g.Nodes.Data = g.Nodes.Data[:(nl+np)*NodeFeatures]
+		g.Nodes.Shape = append(g.Nodes.Shape[:0], nl+np, NodeFeatures)
+		g.Nodes.Zero()
+	}
+	g.Covalent = g.Covalent[:0]
+	g.NonCov = g.NonCov[:0]
 
 	adj := mol.Adjacency()
 	for i, a := range mol.Atoms {

@@ -1,0 +1,78 @@
+package featurize
+
+import (
+	"testing"
+
+	"deepfusion/internal/target"
+)
+
+// TestVoxelizeIntoReusesAndMatches pins the caller-buffer voxelizer:
+// a reused (dirty) grid produces bytes identical to a fresh Voxelize,
+// and the destination buffer is actually reused.
+func TestVoxelizeIntoReusesAndMatches(t *testing.T) {
+	o := DefaultVoxelOptions()
+	m1 := mustMol(t, "CCO")
+	m2 := mustMol(t, "c1ccccc1")
+	target.Protease1.PlaceLigand(m1)
+	target.Protease1.PlaceLigand(m2)
+
+	dst := Voxelize(target.Protease1, m1, o) // now dirty with m1's density
+	got := VoxelizeInto(dst, target.Protease1, m2, o)
+	if got != dst {
+		t.Fatalf("VoxelizeInto did not reuse a right-sized destination")
+	}
+	want := Voxelize(target.Protease1, m2, o)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("voxel %d: reused %v != fresh %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	if out := VoxelizeInto(nil, target.Protease1, m2, o); out == nil || out.Len() != want.Len() {
+		t.Fatalf("nil destination must allocate")
+	}
+}
+
+// TestBuildGraphIntoReusesAndMatches pins the graph counterpart:
+// rebuilding into a dirty graph equals a fresh build, including when
+// the node count shrinks.
+func TestBuildGraphIntoReusesAndMatches(t *testing.T) {
+	o := DefaultGraphOptions()
+	big := mustMol(t, "CCN(CC)CCNC(=O)c1ccccc1")
+	small := mustMol(t, "CCO")
+	target.Spike1.PlaceLigand(big)
+	target.Spike1.PlaceLigand(small)
+
+	g := BuildGraph(target.Spike1, big, o)
+	nodesBefore := &g.Nodes.Data[0]
+	got := BuildGraphInto(g, target.Spike1, small, o)
+	if got != g {
+		t.Fatalf("BuildGraphInto returned a different graph")
+	}
+	if &g.Nodes.Data[0] != nodesBefore {
+		t.Fatalf("node tensor was reallocated despite sufficient capacity")
+	}
+	want := BuildGraph(target.Spike1, small, o)
+	if got.NumLigand != want.NumLigand || got.NumNodes() != want.NumNodes() {
+		t.Fatalf("geometry: got %d/%d nodes, want %d/%d",
+			got.NumLigand, got.NumNodes(), want.NumLigand, want.NumNodes())
+	}
+	for i := range want.Nodes.Data {
+		if got.Nodes.Data[i] != want.Nodes.Data[i] {
+			t.Fatalf("node feature %d differs after reuse", i)
+		}
+	}
+	if len(got.Covalent) != len(want.Covalent) || len(got.NonCov) != len(want.NonCov) {
+		t.Fatalf("edge counts: got %d/%d, want %d/%d",
+			len(got.Covalent), len(got.NonCov), len(want.Covalent), len(want.NonCov))
+	}
+	for i, e := range want.Covalent {
+		if got.Covalent[i] != e {
+			t.Fatalf("covalent edge %d differs after reuse", i)
+		}
+	}
+	for i, e := range want.NonCov {
+		if got.NonCov[i] != e {
+			t.Fatalf("non-covalent edge %d differs after reuse", i)
+		}
+	}
+}

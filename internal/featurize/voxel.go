@@ -54,8 +54,25 @@ func (o VoxelOptions) Channels() int { return 2 * chem.FeatureChannels }
 // complementary strengths fusion exploits (shape/occupancy vs bonded
 // chemistry), mirroring the premise of the paper's Section 1.
 func Voxelize(p *target.Pocket, mol *chem.Mol, o VoxelOptions) *tensor.Tensor {
+	return VoxelizeInto(nil, p, mol, o)
+}
+
+// VoxelizeInto renders the complex into dst, reusing its buffer when
+// it already has the right element count ([C, N, N, N] for the given
+// options) and allocating a fresh grid otherwise (including dst ==
+// nil). It returns the tensor written, which is dst whenever dst was
+// reusable. The grid is zeroed before splatting, so results are
+// identical to Voxelize — this is the caller-buffer entry point the
+// screening loaders recycle pose slots through.
+func VoxelizeInto(dst *tensor.Tensor, p *target.Pocket, mol *chem.Mol, o VoxelOptions) *tensor.Tensor {
 	n := o.GridSize
-	out := tensor.New(o.Channels(), n, n, n)
+	out := dst
+	if out == nil || out.Len() != o.Channels()*n*n*n {
+		out = tensor.New(o.Channels(), n, n, n)
+	} else {
+		out.Shape = append(out.Shape[:0], o.Channels(), n, n, n)
+		out.Zero()
+	}
 	half := float64(n) * o.Resolution / 2
 	for _, a := range mol.Atoms {
 		ch := chem.AtomChannels(a.Symbol, a.Charge, a.Aromatic)

@@ -1,0 +1,264 @@
+package fusion
+
+import (
+	"fmt"
+
+	"deepfusion/internal/chem"
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/graph"
+	"deepfusion/internal/nn"
+	"deepfusion/internal/target"
+	"deepfusion/internal/tensor"
+)
+
+// This file is the zero-allocation batched-inference surface of the
+// fusion models: every family gains PredictBatchInto, which scores a
+// batch through workspace-pooled buffers and writes predictions into a
+// caller-owned slice. After one warm-up batch, a steady-state call
+// performs zero heap allocations, and the scores are byte-identical to
+// PredictBatch — the allocating path survives unchanged as the
+// training/reference engine and the golden baseline.
+
+// Workspace owns the pooled buffers of one inference stream: the
+// tensor arena and cached weight packings (via nn.Workspace) plus the
+// batch-assembly scratch — disjoint-union edge lists and gather
+// segments. The screening engine gives each rank one workspace, shared
+// by every scorer replica the rank owns; each PredictBatchInto call
+// recycles the previous call's buffers, so results must be copied out
+// before the next call (PredictBatchInto's out slice satisfies this by
+// construction).
+//
+// A Workspace is not safe for concurrent use, and its cached weight
+// packings assume frozen weights: create it after training, which the
+// screening engine does by cloning rank replicas from trained models.
+type Workspace struct {
+	nn   *nn.Workspace
+	cov  []featurize.Edge
+	nc   []featurize.Edge
+	segs []graph.Segment
+}
+
+// NewWorkspace returns an empty inference workspace.
+func NewWorkspace() *Workspace { return &Workspace{nn: nn.NewWorkspace()} }
+
+// Reset recycles the per-batch buffers; cached weight packings persist.
+func (ws *Workspace) Reset() { ws.nn.Reset() }
+
+// stackVoxels assembles per-sample [C,G,G,G] grids into a pooled
+// [B,C,G,G,G] batch tensor — the inference counterpart of stackVoxels
+// (no augmentation; inference never rotates).
+func (ws *Workspace) stackVoxels(samples []*Sample) *tensor.Tensor {
+	s0 := samples[0].Voxels
+	b := ws.nn.Arena.GetUninit(len(samples), s0.Dim(0), s0.Dim(1), s0.Dim(2), s0.Dim(3))
+	per := s0.Len()
+	for i, s := range samples {
+		copy(b.Data[i*per:(i+1)*per], s.Voxels.Data)
+	}
+	return b
+}
+
+// unionSamples builds the disjoint union of the samples' complex
+// graphs into pooled buffers — the inference counterpart of
+// unionGraphs, identical layout and edge order.
+func (ws *Workspace) unionSamples(samples []*Sample) (nodes *tensor.Tensor, cov, nc []featurize.Edge, segs []graph.Segment) {
+	totalNodes := 0
+	for _, s := range samples {
+		totalNodes += s.Graph.NumNodes()
+	}
+	nodes = ws.nn.Arena.GetUninit(totalNodes, featurize.NodeFeatures)
+	ws.cov, ws.nc, ws.segs = ws.cov[:0], ws.nc[:0], ws.segs[:0]
+	off := 0
+	for _, s := range samples {
+		g := s.Graph
+		copy(nodes.Data[off*featurize.NodeFeatures:], g.Nodes.Data)
+		ws.segs = append(ws.segs, graph.Segment{Start: off, NumLigand: g.NumLigand})
+		for _, e := range g.Covalent {
+			ws.cov = append(ws.cov, featurize.Edge{From: e.From + off, To: e.To + off, Dist: e.Dist})
+		}
+		for _, e := range g.NonCov {
+			ws.nc = append(ws.nc, featurize.Edge{From: e.From + off, To: e.To + off, Dist: e.Dist})
+		}
+		off += g.NumNodes()
+	}
+	return nodes, ws.cov, ws.nc, ws.segs
+}
+
+// addInfer is the pooled counterpart of tensor.Add.
+func addInfer(ws *nn.Workspace, a, b *tensor.Tensor) *tensor.Tensor {
+	if len(a.Data) != len(b.Data) {
+		panic("fusion: addInfer length mismatch")
+	}
+	r := ws.Arena.GetUninit(a.Shape...)
+	for i := range a.Data {
+		r.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return r
+}
+
+func checkInto(samples []*Sample, out []float64) {
+	if len(out) != len(samples) {
+		panic(fmt.Sprintf("fusion: PredictBatchInto out length %d != batch size %d", len(out), len(samples)))
+	}
+}
+
+// forwardInfer is the pooled inference forward of the voxel head —
+// Forward with train=false, stage for stage, into arena buffers.
+func (m *CNN3D) forwardInfer(x *tensor.Tensor, ws *nn.Workspace) (pred, latent *tensor.Tensor) {
+	h := m.act[0].ForwardInfer(m.conv1.ForwardInfer(x, ws), ws)
+	h2 := m.act[1].ForwardInfer(m.conv2.ForwardInfer(h, ws), ws)
+	if m.Cfg.Residual1 {
+		h2 = addInfer(ws, h2, h)
+	}
+	h2 = m.pool1.ForwardInfer(h2, ws)
+	h3 := m.act[2].ForwardInfer(m.conv3.ForwardInfer(h2, ws), ws)
+	h4 := m.act[3].ForwardInfer(m.conv4.ForwardInfer(h3, ws), ws)
+	if m.Cfg.Residual2 {
+		h4 = addInfer(ws, h4, h3)
+	}
+	h4 = m.pool2.ForwardInfer(h4, ws)
+	f := m.flat.ForwardInfer(h4, ws)
+	// drop1/drop2 are the identity at inference.
+	d1 := m.fc1.ForwardInfer(f, ws)
+	if m.bn != nil {
+		d1 = m.bn.ForwardInfer(d1, ws)
+	}
+	d1 = m.act[4].ForwardInfer(d1, ws)
+	latent = m.act[5].ForwardInfer(m.fc2.ForwardInfer(d1, ws), ws)
+	pred = m.out.ForwardInfer(latent, ws)
+	return pred, latent
+}
+
+// forwardBatchInfer is the pooled inference forward of the graph head
+// over the disjoint union of the samples' graphs.
+func (m *SGCNN) forwardBatchInfer(samples []*Sample, ws *Workspace) (pred, latent *tensor.Tensor) {
+	nodes, cov, nc, segs := ws.unionSamples(samples)
+	h := m.proj.ForwardInfer(nodes, ws.nn)
+	h = m.covConv.ForwardInfer(h, cov, ws.nn)
+	h = m.bridge.ForwardInfer(h, ws.nn)
+	h = m.ncConv.ForwardInfer(h, nc, ws.nn)
+	latent = m.gather.ForwardSegmentsInfer(h, nodes, segs, ws.nn)
+	y := m.act1.ForwardInfer(m.d1.ForwardInfer(latent, ws.nn), ws.nn)
+	y = m.act2.ForwardInfer(m.d2.ForwardInfer(y, ws.nn), ws.nn)
+	pred = m.out.ForwardInfer(y, ws.nn)
+	return pred, latent
+}
+
+// PredictBatchInto scores featurized samples through the pooled
+// engine, writing one prediction per sample into out (which must have
+// the batch's length). Scores are byte-identical to PredictBatch; a
+// warm workspace makes the call allocation-free.
+func (m *CNN3D) PredictBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	checkInto(samples, out)
+	if len(samples) == 0 {
+		return
+	}
+	ws.Reset()
+	pred, _ := m.forwardInfer(ws.stackVoxels(samples), ws.nn)
+	copy(out, pred.Data)
+}
+
+// PredictBatchInto scores featurized samples through the pooled graph
+// engine; see CNN3D.PredictBatchInto for the contract.
+func (m *SGCNN) PredictBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	checkInto(samples, out)
+	if len(samples) == 0 {
+		return
+	}
+	ws.Reset()
+	pred, _ := m.forwardBatchInfer(samples, ws)
+	copy(out, pred.Data)
+}
+
+// PredictBatchInto evaluates both heads through the pooled engine and
+// averages, like PredictBatch.
+func (l *LateFusion) PredictBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	checkInto(samples, out)
+	if len(samples) == 0 {
+		return
+	}
+	ws.Reset()
+	cnnPred, _ := l.CNN.forwardInfer(ws.stackVoxels(samples), ws.nn)
+	sgPred, _ := l.SG.forwardBatchInfer(samples, ws)
+	for i := range out {
+		out[i] = (cnnPred.Data[i] + sgPred.Data[i]) / 2
+	}
+}
+
+// PredictBatchInto runs the pooled inference pass of the Mid-level /
+// Coherent fusion stack; see CNN3D.PredictBatchInto for the contract.
+func (f *Fusion) PredictBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	checkInto(samples, out)
+	if len(samples) == 0 {
+		return
+	}
+	ws.Reset()
+	_, cnnLat := f.CNN.forwardInfer(ws.stackVoxels(samples), ws.nn)
+	_, sgLat := f.SG.forwardBatchInfer(samples, ws)
+
+	b := len(samples)
+	concat := ws.nn.Arena.GetUninit(b, f.concatWidth)
+	for i := 0; i < b; i++ {
+		copy(concat.Row(i)[:f.cnnLatW], cnnLat.Row(i))
+		copy(concat.Row(i)[f.cnnLatW:f.cnnLatW+f.sgLatW], sgLat.Row(i))
+	}
+	if f.msCNN != nil {
+		mc := f.msActC.ForwardInfer(f.msCNN.ForwardInfer(cnnLat, ws.nn), ws.nn)
+		ms := f.msActS.ForwardInfer(f.msSG.ForwardInfer(sgLat, ws.nn), ws.nn)
+		off := f.cnnLatW + f.sgLatW
+		for i := 0; i < b; i++ {
+			copy(concat.Row(i)[off:off+f.msW], mc.Row(i))
+			copy(concat.Row(i)[off+f.msW:], ms.Row(i))
+		}
+	}
+	h := concat
+	for i, l := range f.layers {
+		prev := h
+		h = l.ForwardInfer(h, ws.nn)
+		if f.bns[i] != nil {
+			h = f.bns[i].ForwardInfer(h, ws.nn)
+		}
+		h = f.acts[i].ForwardInfer(h, ws.nn)
+		// drops are the identity at inference.
+		if f.Cfg.ResidualFusion && prev.Dim(1) == h.Dim(1) {
+			h = addInfer(ws.nn, h, prev)
+		}
+	}
+	pred := f.out.ForwardInfer(h, ws.nn)
+	copy(out, pred.Data)
+}
+
+// ScoreBatchInto implements the screening engine's pooled scoring
+// handshake (screen.ScorerInto) for the voxel head.
+func (m *CNN3D) ScoreBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	m.PredictBatchInto(samples, ws, out)
+}
+
+// ScoreBatchInto implements the pooled scoring handshake.
+func (m *SGCNN) ScoreBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	m.PredictBatchInto(samples, ws, out)
+}
+
+// ScoreBatchInto implements the pooled scoring handshake.
+func (l *LateFusion) ScoreBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	l.PredictBatchInto(samples, ws, out)
+}
+
+// ScoreBatchInto implements the pooled scoring handshake.
+func (f *Fusion) ScoreBatchInto(samples []*Sample, ws *Workspace, out []float64) {
+	f.PredictBatchInto(samples, ws, out)
+}
+
+// FeaturizeComplexInto featurizes a posed complex into s, reusing its
+// voxel grid and graph buffers (see featurize.VoxelizeInto and
+// featurize.BuildGraphInto) — the screening loaders recycle pose slots
+// through it. A nil s allocates a fresh sample. Results are identical
+// to FeaturizeComplex.
+func FeaturizeComplexInto(s *Sample, id string, p *target.Pocket, mol *chem.Mol, label float64, vo featurize.VoxelOptions, gro featurize.GraphOptions) *Sample {
+	if s == nil {
+		s = &Sample{}
+	}
+	s.ID, s.Pocket, s.Mol, s.Label = id, p, mol, label
+	s.Voxels = featurize.VoxelizeInto(s.Voxels, p, mol, vo)
+	s.Graph = featurize.BuildGraphInto(s.Graph, p, mol, gro)
+	return s
+}

@@ -1,0 +1,140 @@
+package fusion
+
+import (
+	"testing"
+)
+
+// TestPredictBatchIntoByteIdentical is the golden guarantee of the
+// pooled engine: for every model family and batch size, a pooled
+// PredictBatchInto over a (dirty, reused) workspace must reproduce the
+// allocating PredictBatch bit for bit.
+func TestPredictBatchIntoByteIdentical(t *testing.T) {
+	ds := dataset(t)
+	samples := featurized(t, ds.Core[:8])
+	cnn := NewCNN3D(tinyCNNConfig(), 91)
+	sg := NewSGCNN(tinySGConfig(), 92)
+	late := &LateFusion{CNN: cnn, SG: sg}
+	mid := NewFusion(DefaultMidFusionConfig(), cnn, sg, 93)
+	coh := NewFusion(DefaultCoherentConfig(), cnn, sg, 94)
+
+	ws := NewWorkspace() // one workspace shared across families and batches
+	models := []struct {
+		name  string
+		batch func(ss []*Sample) []float64
+		into  func(ss []*Sample, out []float64)
+	}{
+		{"CNN3D", cnn.PredictBatch, func(ss []*Sample, out []float64) { cnn.PredictBatchInto(ss, ws, out) }},
+		{"SGCNN", sg.PredictBatch, func(ss []*Sample, out []float64) { sg.PredictBatchInto(ss, ws, out) }},
+		{"Late", late.PredictBatch, func(ss []*Sample, out []float64) { late.PredictBatchInto(ss, ws, out) }},
+		{"Mid", mid.PredictBatch, func(ss []*Sample, out []float64) { mid.PredictBatchInto(ss, ws, out) }},
+		{"Coherent", coh.PredictBatch, func(ss []*Sample, out []float64) { coh.PredictBatchInto(ss, ws, out) }},
+	}
+	for _, m := range models {
+		for _, bs := range []int{1, 3, 8} {
+			for lo := 0; lo < len(samples); lo += bs {
+				hi := lo + bs
+				if hi > len(samples) {
+					hi = len(samples)
+				}
+				want := m.batch(samples[lo:hi])
+				got := make([]float64, hi-lo)
+				m.into(samples[lo:hi], got)
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("%s: batch size %d sample %d: pooled %v != allocating %v",
+							m.name, bs, lo+j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceInterleavedScorersNoLeakage guards against cross-batch
+// buffer leakage: two different models alternate batches over ONE
+// workspace, and every result must equal the fresh-allocation path.
+// Stale data surviving a Reset, a packed-weight cache collision, or a
+// buffer handed to two tensors would all break the equality.
+func TestWorkspaceInterleavedScorersNoLeakage(t *testing.T) {
+	ds := dataset(t)
+	samples := featurized(t, ds.Core[:8])
+	cnnA := NewCNN3D(tinyCNNConfig(), 31)
+	sgA := NewSGCNN(tinySGConfig(), 32)
+	a := NewFusion(DefaultCoherentConfig(), cnnA, sgA, 33)
+	cnnB := NewCNN3D(tinyCNNConfig(), 41)
+	sgB := NewSGCNN(tinySGConfig(), 42)
+	b := NewFusion(DefaultMidFusionConfig(), cnnB, sgB, 43)
+
+	ws := NewWorkspace()
+	out := make([]float64, len(samples))
+	for round := 0; round < 3; round++ {
+		for bi, m := range []*Fusion{a, b} {
+			// Vary batch geometry across rounds to stress the size classes.
+			bs := 2 + round*2 + bi
+			for lo := 0; lo < len(samples); lo += bs {
+				hi := lo + bs
+				if hi > len(samples) {
+					hi = len(samples)
+				}
+				m.PredictBatchInto(samples[lo:hi], ws, out[lo:hi])
+				want := m.PredictBatch(samples[lo:hi])
+				for j := range want {
+					if out[lo+j] != want[j] {
+						t.Fatalf("round %d model %d batch [%d,%d) sample %d: interleaved %v != fresh %v",
+							round, bi, lo, hi, lo+j, out[lo+j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchIntoZeroAlloc pins the tentpole: a warm steady-state
+// batch through the full Coherent Fusion stack (both heads, fusion
+// layers) performs zero heap allocations.
+func TestPredictBatchIntoZeroAlloc(t *testing.T) {
+	ds := dataset(t)
+	samples := featurized(t, ds.Core[:8])
+	cnn := NewCNN3D(tinyCNNConfig(), 51)
+	sg := NewSGCNN(tinySGConfig(), 52)
+	f := NewFusion(DefaultCoherentConfig(), cnn, sg, 53)
+	ws := NewWorkspace()
+	out := make([]float64, len(samples))
+	run := func() { f.PredictBatchInto(samples, ws, out) }
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(50, run); avg != 0 {
+		t.Fatalf("warm PredictBatchInto allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestFeaturizeComplexIntoMatchesFresh pins slot recycling: a sample
+// featurized into a dirty slot equals a freshly featurized one.
+func TestFeaturizeComplexIntoMatchesFresh(t *testing.T) {
+	ds := dataset(t)
+	c1, c2 := ds.Core[0], ds.Core[1]
+	vo := tinyCNNConfig().Voxel
+	gro := tinySGConfig().Graph
+	slot := FeaturizeComplexInto(nil, c1.ID, c1.Pocket, c1.Mol, 1, vo, gro)
+	slot = FeaturizeComplexInto(slot, c2.ID, c2.Pocket, c2.Mol, 2, vo, gro)
+	want := FeaturizeComplex(c2.ID, c2.Pocket, c2.Mol, 2, vo, gro)
+	if slot.ID != want.ID || slot.Label != want.Label {
+		t.Fatalf("identity: got %s/%v want %s/%v", slot.ID, slot.Label, want.ID, want.Label)
+	}
+	for i := range want.Voxels.Data {
+		if slot.Voxels.Data[i] != want.Voxels.Data[i] {
+			t.Fatalf("voxel %d differs after slot reuse", i)
+		}
+	}
+	if slot.Graph.NumNodes() != want.Graph.NumNodes() ||
+		len(slot.Graph.Covalent) != len(want.Graph.Covalent) ||
+		len(slot.Graph.NonCov) != len(want.Graph.NonCov) {
+		t.Fatalf("graph geometry differs after slot reuse")
+	}
+	for i := range want.Graph.Nodes.Data {
+		if slot.Graph.Nodes.Data[i] != want.Graph.Nodes.Data[i] {
+			t.Fatalf("node feature %d differs after slot reuse", i)
+		}
+	}
+}

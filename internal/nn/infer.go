@@ -1,0 +1,438 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepfusion/internal/tensor"
+)
+
+// This file is the zero-allocation inference surface of the layer
+// framework. Every layer gains a ForwardInfer variant that reads its
+// weights, writes its output into workspace-pooled buffers, and caches
+// nothing for Backward — the steady-state path of the screening
+// engine. After one warm-up batch a ForwardInfer pass performs zero
+// heap allocations, and its outputs are byte-identical to
+// Forward(x, false): identical loops, identical per-element term
+// order, only the buffer ownership changes.
+//
+// ForwardInfer runs serially in the calling goroutine (no ParallelFor)
+// — the screening engine's rank goroutines are the parallelism, one
+// workspace each, mirroring the paper's one-model-instance-per-GPU
+// deployment.
+
+// Workspace owns the pooled buffers and cached weight packings of one
+// inference stream. It is not safe for concurrent use; the screening
+// engine gives each rank its own.
+//
+// Packed panels and transposes are cached per weight tensor identity
+// and assume the weights are frozen: create workspaces after training
+// (rank replicas are cloned from trained models), or drop the
+// workspace if weights change.
+type Workspace struct {
+	Arena *tensor.Arena
+
+	packs map[*tensor.Tensor]*tensor.PackedB
+	trans map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewWorkspace returns an empty inference workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		Arena: tensor.NewArena(),
+		packs: map[*tensor.Tensor]*tensor.PackedB{},
+		trans: map[*tensor.Tensor]*tensor.Tensor{},
+	}
+}
+
+// Reset recycles the per-batch buffers. Cached weight packings persist
+// — they are the once-per-(weights, shape) part of the steady state.
+func (ws *Workspace) Reset() { ws.Arena.Reset() }
+
+// PackedTransposed returns the cached panel packing of wᵀ, viewing w's
+// data as a row-major n x k matrix (higher-rank conv kernels collapse).
+// Built on first use, reused for the life of the workspace.
+func (ws *Workspace) PackedTransposed(w *tensor.Tensor, n, k int) *tensor.PackedB {
+	if pb, ok := ws.packs[w]; ok {
+		return pb
+	}
+	pb := &tensor.PackedB{}
+	pb.PackTransposed(w.Data, n, k)
+	ws.packs[w] = pb
+	return pb
+}
+
+// Transposed returns the cached materialized transpose of w viewed as
+// a row-major n x k matrix, shaped [k, n] — the layout the sparse
+// scatter convolution reads.
+func (ws *Workspace) Transposed(w *tensor.Tensor, n, k int) *tensor.Tensor {
+	if t, ok := ws.trans[w]; ok {
+		return t
+	}
+	t := tensor.New(k, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			t.Data[j*n+i] = w.Data[i*k+j]
+		}
+	}
+	ws.trans[w] = t
+	return t
+}
+
+// InferLayer is the inference-mode counterpart of Layer: a forward
+// pass that allocates from the workspace and caches nothing.
+type InferLayer interface {
+	ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor
+}
+
+// ForwardInfer implements InferLayer. Layers that do not implement the
+// in-place contract fall back to Forward(x, false) (correct, but
+// allocating).
+func (s *Sequential) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	for _, l := range s.Layers {
+		if il, ok := l.(InferLayer); ok {
+			x = il.ForwardInfer(x, ws)
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	return x
+}
+
+// ForwardInfer implements InferLayer: y = x·Wᵀ + b via the packed
+// panel kernel against the workspace-cached packing of Wᵀ.
+func (d *Dense) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panicShape("Dense", x, d.In)
+	}
+	n := x.Dim(0)
+	y := ws.Arena.GetUninit(n, d.Out)
+	pb := ws.PackedTransposed(d.W.Value, d.Out, d.In)
+	tensor.MatMulPackedInto(y, x, pb)
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += d.B.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// ForwardInfer implements InferLayer.
+func (a *Activation) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	out := ws.Arena.GetUninit(x.Shape...)
+	switch a.Kind {
+	case ActReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	case ActLReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = a.Slope * v
+			}
+		}
+	case ActSELU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = seluLambda * v
+			} else {
+				out.Data[i] = seluLambda * seluAlpha * (math.Exp(v) - 1)
+			}
+		}
+	default:
+		panic("nn: unknown activation " + a.Kind)
+	}
+	return out
+}
+
+// ForwardInfer implements InferLayer. Inference dropout is the
+// identity, exactly like Forward with train=false.
+func (d *Dropout) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor { return x }
+
+// ForwardInfer implements InferLayer: a pooled view, the workspace
+// counterpart of Reshape.
+func (f *Flatten) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	n := x.Dim(0)
+	return ws.Arena.View(x.Data, n, x.Len()/n)
+}
+
+// ForwardInfer implements InferLayer: evaluation-mode normalization
+// with running statistics, as Forward(x, false).
+func (b *BatchNorm) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != b.F {
+		panic("nn: BatchNorm expects [N, F] input matching layer width")
+	}
+	n := x.Dim(0)
+	out := ws.Arena.GetUninit(x.Shape...)
+	for i := 0; i < n; i++ {
+		xr, or := x.Row(i), out.Row(i)
+		for j := 0; j < b.F; j++ {
+			xh := (xr[j] - b.RunMean[j]) / math.Sqrt(b.RunVar[j]+b.Eps)
+			or[j] = b.Gamma.Value.Data[j]*xh + b.Beta.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// ForwardInfer implements InferLayer: the same window argmax loops as
+// Forward without recording the winners for Backward.
+func (m *MaxPool3D) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	n, c, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := m.K
+	if d%k != 0 || h%k != 0 || w%k != 0 {
+		panic("nn: MaxPool3D window does not divide grid")
+	}
+	od, oh, ow := d/k, h/k, w/k
+	out := ws.Arena.GetUninit(n, c, od, oh, ow)
+	perChan := od * oh * ow
+	for nc := 0; nc < n*c; nc++ {
+		ni, ci := nc/c, nc%c
+		oi := nc * perChan
+		for zd := 0; zd < od; zd++ {
+			for zh := 0; zh < oh; zh++ {
+				for zw := 0; zw < ow; zw++ {
+					bestV := 0.0
+					first := true
+					for kd := 0; kd < k; kd++ {
+						for kh := 0; kh < k; kh++ {
+							for kw := 0; kw < k; kw++ {
+								fi := ((((ni*c+ci)*d+zd*k+kd)*h + zh*k + kh) * w) + zw*k + kw
+								if first || x.Data[fi] > bestV {
+									bestV = x.Data[fi]
+									first = false
+								}
+							}
+						}
+					}
+					out.Data[oi] = bestV
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ForwardInfer implements InferLayer for the convolution: the same
+// algorithm selection as Forward (direct reference loops, sparse
+// scatter for cache-resident outputs, im2col GEMM tiles otherwise)
+// with workspace-pooled scratch, the packed panel kernel against the
+// once-per-workspace packing of the kernel matrix, and — for the
+// scatter path — a position-major accumulator so every scatter write
+// lands in one cache line instead of striding Out channel planes.
+// Per-element accumulation order is identical to Forward, so outputs
+// are byte-identical.
+func (c *Conv3D) ForwardInfer(x *tensor.Tensor, ws *Workspace) *tensor.Tensor {
+	if x.Rank() != 5 || x.Dim(1) != c.In {
+		panic(fmt.Sprintf("nn: Conv3D expects [N,%d,D,H,W], got %v", c.In, x.Shape))
+	}
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := c.K
+	dhw := d * h * w
+	ck3 := c.In * k * k * k
+	out := ws.Arena.GetUninit(n, c.Out, d, h, w)
+	if c.Direct {
+		c.directInto(x, out)
+		return out
+	}
+	if c.Out*dhw*8 <= scatterMaxBytes {
+		c.scatterInfer(x, out, ws.Transposed(c.W.Value, c.Out, ck3), ws)
+		return out
+	}
+	// Tile path: im2col patches are sparse (voxel occupancy), so the
+	// zero-skip scalar kernel against the cached kernel transpose beats
+	// the panel kernel — one data-dependent branch per patch value,
+	// skipping a whole Out-wide row. The packed panel kernel is for the
+	// dense x·Wᵀ layer products.
+	wt := ws.Transposed(c.W.Value, c.Out, ck3)
+	tile := dhw
+	if tile > convTile {
+		tile = convTile
+	}
+	for b := 0; b < n; b++ {
+		for lo := 0; lo < dhw; lo += tile {
+			hi := lo + tile
+			if hi > dhw {
+				hi = dhw
+			}
+			rows := hi - lo
+			ct := ws.Arena.GetUninit(rows, ck3) // Im2Col3D zeroes it
+			yt := ws.Arena.GetUninit(rows, c.Out)
+			tensor.Im2Col3D(x, b, k, lo, hi, ct)
+			// Seed every position with the bias, then accumulate the
+			// patch GEMM on top (same term order as Forward).
+			for r := 0; r < rows; r++ {
+				copy(yt.Data[r*c.Out:(r+1)*c.Out], c.B.Value.Data)
+			}
+			tensor.MatMulAcc(yt, ct, wt)
+			for o := 0; o < c.Out; o++ {
+				dst := out.Data[(b*c.Out+o)*dhw+lo : (b*c.Out+o)*dhw+hi]
+				for r := range dst {
+					dst[r] = yt.Data[r*c.Out+o]
+				}
+			}
+			ws.Arena.Put(yt)
+			ws.Arena.Put(ct)
+		}
+	}
+	return out
+}
+
+// scatterInfer is the pooled sparse-scatter forward. It accumulates
+// into a position-major [DHW, Out] buffer — each nonzero voxel's
+// kernel footprint updates Out contiguous values per position, one
+// cache line, where forwardScatter strides Out channel planes — then
+// transposes once into the [Out, D, H, W] output block. Grid-boundary
+// clipping is hoisted out of the kernel loops (the surviving offsets
+// run branch-free) and the channel update is unrolled 8 lanes at a
+// time for the production filter counts. Per-element term order
+// matches forwardScatter exactly: for every output element, surviving
+// terms arrive in ascending (ci, input-position) order.
+func (c *Conv3D) scatterInfer(x, out, wt *tensor.Tensor, ws *Workspace) {
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := c.K
+	pad := k / 2
+	dhw := d * h * w
+	hw := h * w
+	nOut := c.Out
+	unroll8 := nOut%8 == 0
+	posBuf := ws.Arena.GetUninit(dhw, nOut)
+	pd := posBuf.Data
+	wd := wt.Data
+	for b := 0; b < n; b++ {
+		for pos := 0; pos < dhw; pos++ {
+			copy(pd[pos*nOut:(pos+1)*nOut], c.B.Value.Data)
+		}
+		for ci := 0; ci < c.In; ci++ {
+			chBase := (b*c.In + ci) * dhw
+			for ip, v := range x.Data[chBase : chBase+dhw] {
+				if v == 0 {
+					continue
+				}
+				id, rem := ip/hw, ip%hw
+				ih, iw := rem/w, rem%w
+				// Valid kernel ranges: zd = id+pad-kd must land in
+				// [0, d), and likewise for the other axes.
+				kdLo, kdHi := clipK(id, pad, d, k)
+				khLo, khHi := clipK(ih, pad, h, k)
+				kwLo, kwHi := clipK(iw, pad, w, k)
+				for kd := kdLo; kd <= kdHi; kd++ {
+					zd := id + pad - kd
+					for kh := khLo; kh <= khHi; kh++ {
+						zh := ih + pad - kh
+						wBase := ((ci*k+kd)*k + kh) * k
+						posRow := (zd*h + zh) * w
+						if unroll8 {
+							// zw walks down one position per kw step, so
+							// both offsets advance by a constant stride.
+							wOff := (wBase + kwLo) * nOut
+							pOff := (posRow + iw + pad - kwLo) * nOut
+							for kw := kwLo; kw <= kwHi; kw++ {
+								for o := 0; o < nOut; o += 8 {
+									wr := wd[wOff+o : wOff+o+8 : wOff+o+8]
+									dr := pd[pOff+o : pOff+o+8 : pOff+o+8]
+									dr[0] += wr[0] * v
+									dr[1] += wr[1] * v
+									dr[2] += wr[2] * v
+									dr[3] += wr[3] * v
+									dr[4] += wr[4] * v
+									dr[5] += wr[5] * v
+									dr[6] += wr[6] * v
+									dr[7] += wr[7] * v
+								}
+								wOff += nOut
+								pOff -= nOut
+							}
+						} else {
+							for kw := kwLo; kw <= kwHi; kw++ {
+								pos := posRow + iw + pad - kw
+								wRow := wd[(wBase+kw)*nOut : (wBase+kw+1)*nOut]
+								dst := pd[pos*nOut : pos*nOut+nOut]
+								for o, wv := range wRow {
+									dst[o] += wv * v
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		outS := out.Data[b*nOut*dhw : (b+1)*nOut*dhw]
+		for pos := 0; pos < dhw; pos++ {
+			row := pd[pos*nOut : (pos+1)*nOut]
+			for o, v := range row {
+				outS[o*dhw+pos] = v
+			}
+		}
+	}
+	ws.Arena.Put(posBuf)
+}
+
+// clipK returns the inclusive kernel-offset range [lo, hi] for which
+// the mirrored position i+pad-k stays inside [0, dim).
+func clipK(i, pad, dim, k int) (lo, hi int) {
+	lo, hi = i+pad-dim+1, i+pad
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > k-1 {
+		hi = k - 1
+	}
+	return lo, hi
+}
+
+// directInto is the serial reference convolution writing into a
+// caller-owned output — forwardDirect's loops without the ParallelFor
+// (rank goroutines are the inference parallelism).
+func (c *Conv3D) directInto(x, out *tensor.Tensor) {
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	pad := c.K / 2
+	k := c.K
+	dhw := d * h * w
+	for ni := 0; ni < n; ni++ {
+		for co := 0; co < c.Out; co++ {
+			bias := c.B.Value.Data[co]
+			oBase := (ni*c.Out + co) * dhw
+			for zd := 0; zd < d; zd++ {
+				for zh := 0; zh < h; zh++ {
+					for zw := 0; zw < w; zw++ {
+						s := bias
+						for ci := 0; ci < c.In; ci++ {
+							for kd := 0; kd < k; kd++ {
+								id := zd + kd - pad
+								if id < 0 || id >= d {
+									continue
+								}
+								for kh := 0; kh < k; kh++ {
+									ih := zh + kh - pad
+									if ih < 0 || ih >= h {
+										continue
+									}
+									xBase := ((ni*c.In+ci)*d+id)*h + ih
+									wBase := (((co*c.In+ci)*k+kd)*k + kh) * k
+									xRow := x.Data[xBase*w : xBase*w+w]
+									wRow := c.W.Value.Data[wBase : wBase+k]
+									for kw := 0; kw < k; kw++ {
+										iw := zw + kw - pad
+										if iw < 0 || iw >= w {
+											continue
+										}
+										s += xRow[iw] * wRow[kw]
+									}
+								}
+							}
+						}
+						out.Data[oBase+(zd*h+zh)*w+zw] = s
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package screen
+
+import (
+	"context"
+	"testing"
+
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/libgen"
+	"deepfusion/internal/target"
+)
+
+func allocTestScorer(seed int64) *fusion.Fusion {
+	cnn := fusion.NewCNN3D(fusion.DefaultCNN3DConfig(), seed)
+	sg := fusion.NewSGCNN(fusion.DefaultSGCNNConfig(), seed+1)
+	return fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, seed+2)
+}
+
+func allocTestSamples(t testing.TB, f *fusion.Fusion, n int) []*fusion.Sample {
+	t.Helper()
+	vo := f.CNN.Cfg.Voxel
+	gro := f.SG.Cfg.Graph
+	var samples []*fusion.Sample
+	for i := 0; len(samples) < n; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		target.Protease1.PlaceLigand(m)
+		samples = append(samples, fusion.FeaturizeComplex(m.Name, target.Protease1, m, 0, vo, gro))
+	}
+	return samples
+}
+
+// TestWarmRankLoopZeroAlloc is the allocation-regression pin of the
+// tentpole: the steady-state scoring step of a rank — a full batch
+// through the production-config Coherent Fusion scorer via the
+// ScorerInto handshake, exactly what runRanks' flush does — performs
+// zero heap allocations once the rank's workspace is warm.
+func TestWarmRankLoopZeroAlloc(t *testing.T) {
+	f := allocTestScorer(61)
+	samples := allocTestSamples(t, f, 8)
+	ws := fusion.NewWorkspace()
+	out := make([]float64, len(samples))
+	var s ScorerInto = f
+	loop := func() { s.ScoreBatchInto(samples, ws, out) }
+	for i := 0; i < 3; i++ {
+		loop() // warm the workspace pools and packed-weight caches
+	}
+	if avg := testing.AllocsPerRun(50, loop); avg != 0 {
+		t.Fatalf("warm rank scoring loop allocates %.1f times per batch, want 0", avg)
+	}
+}
+
+// TestEnsembleSharedWorkspaceMatchesSoloRuns guards the engine-level
+// buffer-isolation contract: a rank's single workspace is shared by
+// every scorer replica it owns, so an ensemble job's per-scorer
+// predictions must be byte-identical to running each scorer in its own
+// job (its own workspaces). Cross-scorer buffer leakage or a packing
+// cache collision would break the equality.
+func TestEnsembleSharedWorkspaceMatchesSoloRuns(t *testing.T) {
+	a := allocTestScorer(71)
+	b := allocTestScorer(81)
+	// Distinct names so the ensemble accepts both Coherent models.
+	sa := renamed{Scorer: a, name: "coherent_a"}
+	sb := renamed{Scorer: b, name: "coherent_b"}
+	var poses []Pose
+	for i := 0; len(poses) < 10; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		target.Protease1.PlaceLigand(m)
+		poses = append(poses, Pose{CompoundID: m.Name, PoseRank: 0, Mol: m, VinaScore: -6})
+	}
+	o := DefaultJobOptions()
+	o.Ranks = 2
+	o.LoadersPerRank = 2
+	o.BatchSize = 3 // remainder batch exercises mixed shapes in one workspace
+
+	both, err := RunJobEnsemble(context.Background(), []Scorer{sa, sb}, target.Protease1, poses, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloA, err := RunJob(context.Background(), sa, target.Protease1, poses, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloB, err := RunJob(context.Background(), sb, target.Protease1, poses, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range poses {
+		if got, want := both[i].Scores["coherent_a"], soloA[i].Fusion; got != want {
+			t.Fatalf("pose %d scorer a: shared-workspace %v != solo %v", i, got, want)
+		}
+		if got, want := both[i].Scores["coherent_b"], soloB[i].Fusion; got != want {
+			t.Fatalf("pose %d scorer b: shared-workspace %v != solo %v", i, got, want)
+		}
+	}
+}
+
+// renamed wraps a scorer with a distinct stable name, forwarding every
+// engine handshake the wrapped scorer implements.
+type renamed struct {
+	Scorer
+	name string
+}
+
+func (r renamed) Name() string { return r.name }
+
+func (r renamed) ScoreBatchInto(samples []*fusion.Sample, ws *fusion.Workspace, out []float64) {
+	r.Scorer.(ScorerInto).ScoreBatchInto(samples, ws, out)
+}
+
+func (r renamed) FeatureOptions() FeatureOptions {
+	return r.Scorer.(Featurizer).FeatureOptions()
+}
+
+func (r renamed) CloneScorer() any {
+	return renamed{Scorer: r.Scorer.(Cloner).CloneScorer().(Scorer), name: r.name}
+}

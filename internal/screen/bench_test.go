@@ -49,6 +49,7 @@ func benchPoses(b *testing.B, n int) []Pose {
 }
 
 func runJobBench(b *testing.B, batchSize int, direct bool) {
+	b.ReportAllocs()
 	f := benchFusion(b)
 	f.CNN.SetDirectConv(direct)
 	poses := benchPoses(b, 24)
@@ -83,6 +84,7 @@ func BenchmarkRunJobBatched(b *testing.B) { runJobBench(b, 8, false) }
 
 // BenchmarkRunJobBatched56 is the paper's per-GPU maximum batch.
 func BenchmarkRunJobBatched56(b *testing.B) {
+	b.ReportAllocs()
 	f := benchFusion(b)
 	poses := benchPoses(b, 56)
 	o := DefaultJobOptions()
@@ -160,6 +162,7 @@ func benchEnsemble(b *testing.B) []Scorer {
 // featurize each pose once, score it with all three scorers in the
 // same batch pass (`make bench-consensus`).
 func BenchmarkConsensusFeaturizeOnce(b *testing.B) {
+	b.ReportAllocs()
 	scorers := benchEnsemble(b)
 	poses := benchPoses(b, 24)
 	o := DefaultJobOptions()
@@ -182,6 +185,7 @@ func BenchmarkConsensusFeaturizeOnce(b *testing.B) {
 // ensemble engine replaces: one full job per scorer, featurizing
 // every pose N times.
 func BenchmarkConsensusIndependentRuns(b *testing.B) {
+	b.ReportAllocs()
 	scorers := benchEnsemble(b)
 	poses := benchPoses(b, 24)
 	o := DefaultJobOptions()

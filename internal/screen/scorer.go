@@ -47,6 +47,17 @@ type Featurizer interface {
 	FeatureOptions() FeatureOptions
 }
 
+// ScorerInto is the pooled-scoring handshake: scorers that can score a
+// batch through a reusable fusion.Workspace — writing predictions into
+// a caller-owned slice instead of allocating — implement it, and the
+// engine's rank loop scores allocation-free after warm-up (each rank
+// owns one workspace, shared by all of its scorer replicas).
+// ScoreBatchInto must produce byte-identical results to ScoreBatch;
+// scorers that do not implement it simply stay on the allocating path.
+type ScorerInto interface {
+	ScoreBatchInto(samples []*fusion.Sample, ws *fusion.Workspace, out []float64)
+}
+
 // Cloner is the replication handshake: scorers whose ScoreBatch is not
 // safe for concurrent use (neural models hold forward caches)
 // implement it, and each simulated MPI rank scores on its own replica
@@ -162,6 +173,8 @@ func ValidateScorerSet(scorers []Scorer) error {
 type Consensus struct {
 	members []Scorer
 	name    string
+
+	scratch []float64 // pooled member-score buffer for ScoreBatchInto
 }
 
 // NewConsensus builds a consensus scorer over the given members. It
@@ -202,6 +215,35 @@ func (c *Consensus) ScoreBatch(samples []*fusion.Sample) []float64 {
 		out[i] /= n
 	}
 	return out
+}
+
+// ScoreBatchInto implements the pooled-scoring handshake: members that
+// implement ScorerInto score through the shared workspace, the rest
+// fall back to ScoreBatch. The mix is byte-identical to ScoreBatch
+// (same member order, same per-sample accumulation).
+func (c *Consensus) ScoreBatchInto(samples []*fusion.Sample, ws *fusion.Workspace, out []float64) {
+	if len(c.scratch) < len(samples) {
+		c.scratch = make([]float64, len(samples))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, m := range c.members {
+		var vals []float64
+		if mi, ok := m.(ScorerInto); ok {
+			vals = c.scratch[:len(samples)]
+			mi.ScoreBatchInto(samples, ws, vals)
+		} else {
+			vals = m.ScoreBatch(samples)
+		}
+		for i, v := range vals {
+			out[i] += orientToPK(m, v)
+		}
+	}
+	n := float64(len(c.members))
+	for i := range out {
+		out[i] /= n
+	}
 }
 
 // FeatureOptions merges the members' featurization needs (validated

@@ -122,6 +122,16 @@ func injectFailure(o JobOptions) bool {
 // concurrent calls across ranks. runRanks returns when every rank has
 // drained, or with ctx.Err() if cancelled — cancellation lands at
 // batch boundaries, so a running job stops within one batch.
+//
+// Memory model: the steady state is allocation-free. Each rank owns
+// one fusion.Workspace shared by all of its scorer replicas — scorers
+// implementing the ScorerInto handshake score through it into
+// rank-owned prediction buffers — and the loaders draw pose slots from
+// a per-rank free list, featurizing into recycled voxel/graph buffers
+// (FeaturizeComplexInto) and returning each slot once its batch has
+// been emitted. After the first few batches warm the pools, the only
+// per-pose allocations left are the emit-side bookkeeping of the
+// caller.
 func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []Pose, o JobOptions, emit func(idx int, pr Prediction)) error {
 	vo, gro, err := mergeFeatureOptions(scorers, o.Voxel, o.Graph)
 	if err != nil {
@@ -168,6 +178,24 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 			for i, s := range scorers {
 				replicas[i] = replicaOf(s)
 			}
+			// One workspace per rank, shared by its replicas, makes the
+			// scoring loop allocation-free for ScorerInto scorers.
+			var ws *fusion.Workspace
+			for _, r := range replicas {
+				if _, ok := r.(ScorerInto); ok {
+					ws = fusion.NewWorkspace()
+					break
+				}
+			}
+			scoreBuf := make([]float64, len(replicas)*bs)
+			score := func(si int, batch []*fusion.Sample) []float64 {
+				if r, ok := replicas[si].(ScorerInto); ok && ws != nil {
+					out := scoreBuf[si*bs : si*bs+len(batch)]
+					r.ScoreBatchInto(batch, ws, out)
+					return out
+				}
+				return replicas[si].ScoreBatch(batch)
+			}
 			// The rank's share: index-strided, as in the paper ("divide
 			// the set of compounds by the number of ranks and assign
 			// each rank the subset with its index").
@@ -187,6 +215,15 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 			if nLoaders < 1 {
 				nLoaders = 1
 			}
+			// Pose slots recycle featurization buffers: loaders draw a
+			// slot from the free list, featurize into it, and the scoring
+			// loop returns it after the slot's batch is emitted. Capacity
+			// covers every place a slot can be in flight.
+			slotCap := cap(ready) + bs + nLoaders
+			slots := make(chan *fusion.Sample, slotCap)
+			for i := 0; i < slotCap; i++ {
+				slots <- &fusion.Sample{}
+			}
 			for l := 0; l < nLoaders; l++ {
 				loaders.Add(1)
 				go func() {
@@ -195,12 +232,18 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 						if ctx.Err() != nil {
 							return
 						}
-						ps := poses[i]
 						var s *fusion.Sample
+						select {
+						case s = <-slots:
+						case <-ctx.Done():
+							return
+						}
+						ps := poses[i]
 						if needFeatures {
-							s = fusion.FeaturizeComplex(ps.CompoundID, p, ps.Mol, 0, vo, gro)
+							fusion.FeaturizeComplexInto(s, ps.CompoundID, p, ps.Mol, 0, vo, gro)
 						} else {
-							s = &fusion.Sample{ID: ps.CompoundID, Pocket: p, Mol: ps.Mol}
+							s.ID, s.Pocket, s.Mol, s.Label = ps.CompoundID, p, ps.Mol, 0
+							s.Voxels, s.Graph = nil, nil
 						}
 						select {
 						case ready <- loaded{idx: i, sample: s}:
@@ -223,6 +266,10 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 			// scorer over the shared batch — and emit.
 			idxs := make([]int, 0, bs)
 			batch := make([]*fusion.Sample, 0, bs)
+			var extraBufs [][]float64
+			if ensemble {
+				extraBufs = make([][]float64, len(replicas))
+			}
 			flush := func() bool {
 				if len(batch) == 0 {
 					return true
@@ -230,13 +277,13 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 				if ctx.Err() != nil {
 					return false
 				}
-				primary := replicas[0].ScoreBatch(batch)
+				primary := score(0, batch)
 				var extra [][]float64
 				if ensemble {
-					extra = make([][]float64, len(replicas))
+					extra = extraBufs
 					extra[0] = primary
 					for si := 1; si < len(replicas); si++ {
-						extra[si] = replicas[si].ScoreBatch(batch)
+						extra[si] = score(si, batch)
 					}
 				}
 				for j, idx := range idxs {
@@ -266,6 +313,10 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 						}
 					}
 					emit(idx, pr)
+				}
+				// The batch is emitted; its slots go back to the loaders.
+				for _, s := range batch {
+					slots <- s
 				}
 				idxs = idxs[:0]
 				batch = batch[:0]

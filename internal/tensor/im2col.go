@@ -100,7 +100,9 @@ func Col2Im3D(dcols *Tensor, b, k, posLo, posHi int, dx *Tensor) {
 // row-wise and skips zero A entries, which is what makes the lowered
 // convolution cheap on sparse voxel patches. The caller owns
 // parallelism (no internal goroutines), so disjoint destination
-// tensors can be filled concurrently.
+// tensors can be filled concurrently. Steady-state loops that reuse
+// one B across many calls should pack it once and use MatMulAccPacked
+// instead (identical results, cache-blocked).
 func MatMulAcc(c, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
 		panic("tensor: MatMulAcc requires rank-2 tensors")
@@ -110,20 +112,7 @@ func MatMulAcc(c, a, b *Tensor) {
 	if p != p2 || c.Shape[0] != m || c.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAcc shapes %v x %v -> %v", a.Shape, b.Shape, c.Shape))
 	}
-	for i := 0; i < m; i++ {
-		ci := c.Data[i*n : (i+1)*n]
-		ai := a.Data[i*p : (i+1)*p]
-		for q := 0; q < p; q++ {
-			av := ai[q]
-			if av == 0 {
-				continue
-			}
-			bq := b.Data[q*n : (q+1)*n]
-			for j, bv := range bq {
-				ci[j] += av * bv
-			}
-		}
-	}
+	matMulAccRows(c, a, b, 0, m)
 }
 
 // Transpose returns aᵀ for a rank-2 tensor.

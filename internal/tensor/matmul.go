@@ -7,9 +7,11 @@ import (
 )
 
 // MatMul computes C = A x B for rank-2 tensors A (m x k) and B (k x n).
-// The inner loops are ordered i-k-j so B is streamed row-wise, which is
-// cache-friendly for the row-major layout. Large products are split
-// across GOMAXPROCS goroutines by output row block.
+// Small products run the scalar i-k-j kernel; large ones pack B into
+// contiguous cache-line panels once and run the unrolled panel kernel
+// over GOMAXPROCS row blocks. Both paths accumulate each output element
+// in ascending-k order with zero A entries skipped, so the packed
+// rebuild is bitwise-identical to the historical scalar kernel.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 tensors")
@@ -20,28 +22,36 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d != %d", k, k2))
 	}
 	c := New(m, n)
-	mulBlock := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
-			ai := a.Data[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
-				}
-				bp := b.Data[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
+	if m*n*k < 32*1024 {
+		matMulAccRows(c, a, b, 0, m)
+		return c
+	}
+	var pb PackedB
+	pb.Pack(b)
+	ParallelFor(m, func(lo, hi int) { matMulPackedRows(c, a, &pb, lo, hi, true, true) })
+	return c
+}
+
+// matMulAccRows is the scalar C += A x B kernel over output rows
+// [lo, hi): i-k-j order so B streams row-wise, with zero A entries
+// skipped (the sparse-voxel fast path). Shared by MatMul's small-size
+// path and MatMulAcc.
+func matMulAccRows(c, a, b *Tensor, lo, hi int) {
+	k, n := a.Shape[1], b.Shape[1]
+	for i := lo; i < hi; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		ai := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
 			}
 		}
 	}
-	if m*n*k < 32*1024 {
-		mulBlock(0, m)
-		return c
-	}
-	ParallelFor(m, func(lo, hi int) { mulBlock(lo, hi) })
-	return c
 }
 
 // MatMulTransA computes C = A^T x B where A is (k x m) and B is (k x n),

@@ -21,8 +21,19 @@ type Tensor struct {
 }
 
 // New returns a zero-filled tensor with the given shape.
-// It panics if any dimension is negative.
+// It panics if any dimension is negative. The variadic shape is
+// defensively copied (callers may pass a retained slice via New(s...));
+// code that already owns a fresh shape slice — the Arena pool, Clone —
+// uses NewFromShape to skip the copy.
 func New(shape ...int) *Tensor {
+	return NewFromShape(append([]int(nil), shape...))
+}
+
+// NewFromShape is the single-shot constructor behind New and the Arena
+// pool: it takes ownership of shape (no defensive copy), so building a
+// tensor costs exactly one data allocation plus the header. The caller
+// must not retain or mutate shape afterwards.
+func NewFromShape(shape []int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
@@ -30,11 +41,17 @@ func New(shape ...int) *Tensor {
 		}
 		n *= d
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+	return &Tensor{Shape: shape, Data: make([]float64, n)}
 }
 
-// FromSlice wraps data in a tensor with the given shape. The slice is
-// used directly (not copied). It panics if the length does not match.
+// FromSlice wraps data in a tensor with the given shape.
+//
+// Aliasing contract: the slice is used directly, never copied — the
+// tensor and the caller share one buffer, writes through either are
+// visible to both, and the caller must keep the slice alive and
+// unrestructured for the life of the tensor. This is what lets kernels
+// carve sub-tile views out of preallocated scratch without allocating.
+// It panics if the length does not match the shape.
 func FromSlice(data []float64, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
