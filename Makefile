@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-kernels bench-report bench-smoke clean
+.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-report bench-smoke clean
 
 all: build
 
@@ -43,14 +43,21 @@ bench-screen:
 bench-consensus:
 	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkConsensus' -benchtime 2s | tee bench_consensus.txt
 
-# Inference-engine performance trajectory: before/after pairs for
-# MatMul, Conv3D, PredictBatch and RunJob across the allocating and
-# pooled paths (cmd/benchreport/kernels.go). BENCH_4.json is the
-# committed trajectory artifact of the zero-allocation PR; CI uploads
+# Hot-path performance trajectory: before/after pairs for Voxelize,
+# BuildGraph, the combined per-pose featurization and RunJob across
+# the uncached and prefeature-cached paths
+# (cmd/benchreport/kernels.go). BENCH_5.json is the committed
+# trajectory artifact of the target-invariant featurization PR
+# (BENCH_4.json stays as the PR-4 pooled-inference record); CI uploads
 # a fresh copy as a workflow artifact.
 bench-kernels:
-	$(GO) run ./cmd/benchreport -kernels -json > BENCH_4.json
-	@echo "wrote BENCH_4.json"
+	$(GO) run ./cmd/benchreport -kernels -json > BENCH_5.json
+	@echo "wrote BENCH_5.json"
+
+# Featurization microbenchmarks: Voxelize/BuildGraph per pose, cached
+# vs uncached, repro + paper grids (internal/featurize/bench_test.go).
+bench-featurize:
+	$(GO) test ./internal/featurize/ -run xxx -bench . -benchtime 1s | tee bench_featurize.txt
 
 # Paper tables and figures as machine-readable JSON (smoke budget;
 # pass FULL=1 for the full budget).
@@ -65,7 +72,7 @@ bench-report:
 bench-smoke:
 	BENCH_SCALE=smoke $(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-bench: bench-screen bench-consensus bench-kernels bench-report
+bench: bench-screen bench-consensus bench-featurize bench-kernels bench-report
 
 clean:
-	rm -f bench_screen.txt bench_consensus.txt bench_report.json
+	rm -f bench_screen.txt bench_consensus.txt bench_featurize.txt bench_report.json

@@ -9,8 +9,8 @@
 // Usage:
 //
 //	campaign run    -dir DIR [-targets a,b] [-scorers a,b,c] [-n N]
-//	                [-chunk N] [-workers N] [-top N] [-failprob P]
-//	                [-seed N] [-full]
+//	                [-chunk N] [-workers N] [-loaders N] [-top N]
+//	                [-failprob P] [-seed N] [-full]
 //	campaign resume -dir DIR
 //	campaign status -dir DIR
 //
@@ -95,6 +95,7 @@ func cmdRun(args []string) {
 	n := fs.Int("n", 48, "compounds in the screening deck")
 	chunk := fs.Int("chunk", 12, "compounds per work unit")
 	workers := fs.Int("workers", 2, "concurrently running units")
+	loaders := fs.Int("loaders", 0, "data loaders per rank inside each unit's scoring job — the featurization/inference balance, recorded in the manifest (0 = engine default)")
 	top := fs.Int("top", 8, "compounds selected per target")
 	failprob := fs.Float64("failprob", 0, "injected per-job failure probability (paper: ~0.03 at 4 nodes)")
 	seed := fs.Int64("seed", 1, "campaign seed (docking + failure dice; never the scores)")
@@ -111,6 +112,9 @@ func cmdRun(args []string) {
 	cfg.Compounds = *n
 	cfg.ChunkSize = *chunk
 	cfg.Workers = *workers
+	if *loaders > 0 {
+		cfg.Job.LoadersPerRank = *loaders
+	}
 	cfg.TopN = *top
 	cfg.Job.FailureProb = *failprob
 	cfg.Seed = *seed

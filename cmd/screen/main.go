@@ -32,6 +32,7 @@ func main() {
 	top := flag.Int("top", 10, "compounds to select for experiment")
 	outDir := flag.String("out", "", "directory for h5lite prediction shards (optional)")
 	shards := flag.Int("shards", 4, "output shards (parallel writers)")
+	loaders := flag.Int("loaders", 0, "data loaders per rank — the featurization/inference balance (0 = engine default)")
 	full := flag.Bool("full", false, "use the full model-training budget")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `screen — one-shot virtual screening funnel for a single target
@@ -81,6 +82,9 @@ Usage: screen [flags]
 	}
 
 	jobOpts := screen.DefaultJobOptions()
+	if *loaders > 0 {
+		jobOpts.LoadersPerRank = *loaders
+	}
 	preds, attempts, err := screen.RunJobWithRetry(ctx, sc, tgt, poses, jobOpts, 3)
 	if err != nil {
 		log.Fatal(err)

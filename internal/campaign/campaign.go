@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"deepfusion/internal/chem"
+	"deepfusion/internal/featurize"
 	"deepfusion/internal/h5lite"
 	"deepfusion/internal/libgen"
 	"deepfusion/internal/screen"
@@ -169,6 +170,14 @@ type Campaign struct {
 
 	mu  sync.Mutex // guards man and manifest writes
 	man *Manifest
+
+	// prefeatures caches the target-invariant featurization
+	// (screen.PrefeatureFor) per target, built on the target's first
+	// unit and shared read-only by every later chunk — campaign state,
+	// not unit state, because every chunk of a target screens against
+	// the same pocket with the same options.
+	preMu       sync.Mutex
+	prefeatures map[string]*featurize.PocketPrefeature
 
 	// OnUnitStart and OnUnitDone are optional observers called from
 	// worker goroutines as units are claimed and retired. Tests use
@@ -318,6 +327,27 @@ func unitSeed(cfgSeed int64, u UnitRecord) int64 {
 	return cfgSeed + int64(screen.ShardOf(u.ID, 1<<20))*7919
 }
 
+// prefeatureFor returns the campaign's shared featurization cache for
+// a target, building it on first use. A nil cache (scorer set declares
+// no featurized representation) is cached too — the lookup, not the
+// build, is what must be cheap per unit.
+func (c *Campaign) prefeatureFor(tgt *target.Pocket) (*featurize.PocketPrefeature, error) {
+	c.preMu.Lock()
+	defer c.preMu.Unlock()
+	if pf, ok := c.prefeatures[tgt.Name]; ok {
+		return pf, nil
+	}
+	pf, err := screen.PrefeatureFor(c.scorers, tgt, c.man.Config.Job)
+	if err != nil {
+		return nil, err
+	}
+	if c.prefeatures == nil {
+		c.prefeatures = make(map[string]*featurize.PocketPrefeature)
+	}
+	c.prefeatures[tgt.Name] = pf
+	return pf, nil
+}
+
 // shardsExist reports whether every recorded shard file is present.
 func shardsExist(dir string, shards []string) bool {
 	if len(shards) == 0 {
@@ -449,6 +479,14 @@ func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 	// keeps drawing the failure dice eventually clears it. Scores
 	// never depend on the seed, only the injected-failure roll does.
 	o.Seed = seed + int64(u.Attempts)
+	// Every chunk of a target shares one featurization cache; a
+	// prefeature error is a configuration error (conflicting scorer
+	// handshakes), not a retryable unit failure.
+	pf, err := c.prefeatureFor(tgt)
+	if err != nil {
+		return fmt.Errorf("campaign: unit %s: %w", u.ID, err)
+	}
+	o.Prefeature = pf
 	preds, attempts, jobErr := screen.RunJobEnsembleWithRetry(ctx, c.scorers, tgt, poses, o, cfg.MaxAttempts)
 	if jobErr != nil {
 		if ctx.Err() != nil {

@@ -9,6 +9,7 @@ import (
 	"deepfusion/internal/featurize"
 	"deepfusion/internal/fusion"
 	"deepfusion/internal/screen"
+	"deepfusion/internal/target"
 )
 
 // tinyModel builds an untrained (but functional and fully
@@ -51,6 +52,43 @@ func tinyConfig() Config {
 	cfg.Job.Voxel = featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
 	cfg.Seed = 11
 	return cfg
+}
+
+// TestCampaignPrefeatureReusedAcrossChunks pins the campaign-level
+// featurization cache: every compound chunk of a target shares one
+// PocketPrefeature — built on the target's first unit, living with the
+// campaign, not the unit — and a full run materializes exactly one
+// cache entry per target.
+func TestCampaignPrefeatureReusedAcrossChunks(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "camp")
+	c, err := New(dir, tinyConfig(), tinyScorers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := target.ByName("protease1")
+	pfA, err := c.prefeatureFor(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfA == nil {
+		t.Fatal("featurizing scorer set must get a prefeature")
+	}
+	pfB, err := c.prefeatureFor(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfA != pfB {
+		t.Fatal("second chunk of the same target rebuilt the prefeature instead of reusing it")
+	}
+	if pfA.Pocket() != p1 {
+		t.Fatalf("cached prefeature is for %s, want %s", pfA.Pocket().Name, p1.Name)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.prefeatures); got != len(c.man.Config.Targets) {
+		t.Fatalf("campaign built %d prefeatures for %d targets", got, len(c.man.Config.Targets))
+	}
 }
 
 func TestCampaignRunsToCompletion(t *testing.T) {

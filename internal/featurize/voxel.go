@@ -75,23 +75,45 @@ func VoxelizeInto(dst *tensor.Tensor, p *target.Pocket, mol *chem.Mol, o VoxelOp
 	}
 	half := float64(n) * o.Resolution / 2
 	for _, a := range mol.Atoms {
-		ch := chem.AtomChannels(a.Symbol, a.Charge, a.Aromatic)
-		ch[5], ch[6] = 0, 0 // H-bond chemistry: graph-only (see above)
-		splat(out, 0, ch, a.Pos, half, o)
+		splat(out.Data, 0, ligandChannels(&a), a.Pos, half, o, nil)
 	}
-	for _, pa := range p.Atoms {
-		var ch [chem.FeatureChannels]float64
-		if pa.Hydrophobic {
-			ch[0] = 1
-		}
-		ch[7] = pa.Charged
-		ch[3] = 1 // generic heavy-atom presence channel for the protein
-		splat(out, chem.FeatureChannels, ch, pa.Pos, half, o)
+	for i := range p.Atoms {
+		splat(out.Data, chem.FeatureChannels, pocketChannels(&p.Atoms[i]), p.Atoms[i].Pos, half, o, nil)
 	}
 	return out
 }
 
-func splat(out *tensor.Tensor, chOffset int, ch [chem.FeatureChannels]float64, pos chem.Vec3, half float64, o VoxelOptions) {
+// ligandChannels returns the voxel channel weights of one ligand atom
+// with the grid-suppressed H-bond channels (5, 6) cleared (see the
+// Voxelize doc comment).
+func ligandChannels(a *chem.Atom) [chem.FeatureChannels]float64 {
+	ch := chem.AtomChannels(a.Symbol, a.Charge, a.Aromatic)
+	ch[5], ch[6] = 0, 0 // H-bond chemistry: graph-only (see above)
+	return ch
+}
+
+// pocketChannels returns the voxel channel weights of one pocket
+// pseudo-atom — shared by the per-pose splat and the prefeature's
+// once-per-target pocket baseline, so the two paths stay bit-equal.
+func pocketChannels(pa *target.PocketAtom) [chem.FeatureChannels]float64 {
+	var ch [chem.FeatureChannels]float64
+	if pa.Hydrophobic {
+		ch[0] = 1
+	}
+	ch[7] = pa.Charged
+	ch[3] = 1 // generic heavy-atom presence channel for the protein
+	return ch
+}
+
+// splat renders one atom's truncated Gaussian into the flat [C,N,N,N]
+// grid data starting at channel chOffset. When touched is non-nil,
+// every in-bounds voxel offset (linear within one N^3 channel) of the
+// atom's footprint is appended to it — recording happens in the same
+// traversal as the writes, so the footprint can never drift out of
+// sync with the splat kernel; the prefeature path zeroes exactly these
+// offsets across the ligand channels to restore a recycled grid to the
+// pocket baseline.
+func splat(data []float64, chOffset int, ch [chem.FeatureChannels]float64, pos chem.Vec3, half float64, o VoxelOptions, touched *[]int32) {
 	n := o.GridSize
 	// Continuous voxel coordinates of the atom.
 	vx := (pos.X + half) / o.Resolution
@@ -114,6 +136,9 @@ func splat(out *tensor.Tensor, chOffset int, ch [chem.FeatureChannels]float64, p
 				if z < 0 || z >= n {
 					continue
 				}
+				if touched != nil {
+					*touched = append(*touched, int32((x*n+y)*n+z))
+				}
 				ddx := vx - (float64(x) + 0.5)
 				ddy := vy - (float64(y) + 0.5)
 				ddz := vz - (float64(z) + 0.5)
@@ -123,12 +148,13 @@ func splat(out *tensor.Tensor, chOffset int, ch [chem.FeatureChannels]float64, p
 						continue
 					}
 					i := (((chOffset+c)*n+x)*n+y)*n + z
-					out.Data[i] += v * w
+					data[i] += v * w
 				}
 			}
 		}
 	}
 }
+
 
 // RotationAxis selects the axis for RandomRotate.
 type RotationAxis int

@@ -19,6 +19,12 @@ type Sample struct {
 	Voxels *tensor.Tensor // [C, G, G, G]
 	Graph  *featurize.Graph
 	Label  float64
+
+	// voxState tracks which pocket prefeature's baseline the recycled
+	// voxel grid currently holds, so a warm pose slot re-voxelizes by
+	// restoring only the voxels the previous pose touched (see
+	// FeaturizeComplexWithPrefeature).
+	voxState featurize.VoxelSlotState
 }
 
 // FeaturizeComplex builds a Sample from a posed complex.

@@ -259,6 +259,25 @@ func FeaturizeComplexInto(s *Sample, id string, p *target.Pocket, mol *chem.Mol,
 	}
 	s.ID, s.Pocket, s.Mol, s.Label = id, p, mol, label
 	s.Voxels = featurize.VoxelizeInto(s.Voxels, p, mol, vo)
+	s.voxState = featurize.VoxelSlotState{} // grid no longer holds a baseline
 	s.Graph = featurize.BuildGraphInto(s.Graph, p, mol, gro)
+	return s
+}
+
+// FeaturizeComplexWithPrefeature featurizes a posed complex into s
+// through a shared target-invariant prefeature cache
+// (featurize.PocketPrefeature): per-pose voxelization splats only the
+// ligand over the cached pocket baseline, and graph construction
+// copies the cached pocket node rows and finds pocket neighbors
+// through the prefeature's cell list. Results are byte-identical to
+// FeaturizeComplex with the prefeature's options; a warm slot
+// allocates nothing. A nil s allocates a fresh sample.
+func FeaturizeComplexWithPrefeature(s *Sample, pre *featurize.PocketPrefeature, id string, mol *chem.Mol, label float64) *Sample {
+	if s == nil {
+		s = &Sample{}
+	}
+	s.ID, s.Pocket, s.Mol, s.Label = id, pre.Pocket(), mol, label
+	s.Voxels = pre.VoxelizeInto(s.Voxels, &s.voxState, mol)
+	s.Graph = pre.BuildGraphInto(s.Graph, mol)
 	return s
 }

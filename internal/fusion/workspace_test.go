@@ -2,6 +2,9 @@ package fusion
 
 import (
 	"testing"
+
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/pdbbind"
 )
 
 // TestPredictBatchIntoByteIdentical is the golden guarantee of the
@@ -106,6 +109,59 @@ func TestPredictBatchIntoZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(50, run); avg != 0 {
 		t.Fatalf("warm PredictBatchInto allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestFeaturizeComplexWithPrefeatureMatchesFresh pins the cached
+// loader path at the Sample level: featurizing through a shared pocket
+// prefeature into a recycled slot — including a slot previously used
+// by the uncached path, and across two different pockets' prefeatures
+// — equals a fresh FeaturizeComplex bit-for-bit.
+func TestFeaturizeComplexWithPrefeatureMatchesFresh(t *testing.T) {
+	ds := dataset(t)
+	vo := tinyCNNConfig().Voxel
+	gro := tinySGConfig().Graph
+	c1, c2, c3 := ds.Core[0], ds.Core[1], ds.Core[2]
+	pre1 := featurize.NewPocketPrefeature(c1.Pocket, vo, gro)
+
+	// Start the slot on the uncached path, then move it through the
+	// prefeature path — the slot must detect the foreign grid.
+	slot := FeaturizeComplexInto(nil, c3.ID, c3.Pocket, c3.Mol, 3, vo, gro)
+	steps := []struct {
+		pre *featurize.PocketPrefeature
+		c   *pdbbind.Complex
+	}{
+		{pre1, c1},
+		{pre1, c2},
+		{featurize.NewPocketPrefeature(c3.Pocket, vo, gro), c3},
+		{pre1, c1},
+	}
+	for i, st := range steps {
+		slot = FeaturizeComplexWithPrefeature(slot, st.pre, st.c.ID, st.c.Mol, float64(i))
+		want := FeaturizeComplex(st.c.ID, st.c.Pocket, st.c.Mol, float64(i), vo, gro)
+		if slot.ID != want.ID || slot.Label != want.Label || slot.Pocket != want.Pocket {
+			t.Fatalf("step %d identity: got %s/%v want %s/%v", i, slot.ID, slot.Label, want.ID, want.Label)
+		}
+		for j := range want.Voxels.Data {
+			if slot.Voxels.Data[j] != want.Voxels.Data[j] {
+				t.Fatalf("step %d: voxel %d differs from fresh featurization", i, j)
+			}
+		}
+		if slot.Graph.NumNodes() != want.Graph.NumNodes() ||
+			len(slot.Graph.Covalent) != len(want.Graph.Covalent) ||
+			len(slot.Graph.NonCov) != len(want.Graph.NonCov) {
+			t.Fatalf("step %d: graph geometry differs from fresh featurization", i)
+		}
+		for j := range want.Graph.Nodes.Data {
+			if slot.Graph.Nodes.Data[j] != want.Graph.Nodes.Data[j] {
+				t.Fatalf("step %d: node feature %d differs from fresh featurization", i, j)
+			}
+		}
+		for j, e := range want.Graph.NonCov {
+			if slot.Graph.NonCov[j] != e {
+				t.Fatalf("step %d: non-covalent edge %d differs from fresh featurization", i, j)
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"deepfusion/internal/featurize"
 	"deepfusion/internal/fusion"
 	"deepfusion/internal/libgen"
 	"deepfusion/internal/target"
@@ -48,6 +49,42 @@ func TestWarmRankLoopZeroAlloc(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(50, loop); avg != 0 {
 		t.Fatalf("warm rank scoring loop allocates %.1f times per batch, want 0", avg)
+	}
+}
+
+// TestWarmFeaturizingLoaderZeroAlloc extends the allocation pin to the
+// loader side of the rank loop: featurizing a stream of poses into one
+// recycled slot through a shared pocket prefeature — exactly what a
+// warm loader does per pose — performs zero heap allocations. Together
+// with TestWarmRankLoopZeroAlloc this covers the whole steady-state
+// path from pose to prediction.
+func TestWarmFeaturizingLoaderZeroAlloc(t *testing.T) {
+	vo := featurize.DefaultVoxelOptions()
+	gro := featurize.DefaultGraphOptions()
+	pre := featurize.NewPocketPrefeature(target.Protease1, vo, gro)
+	var poses []Pose
+	for i := 0; len(poses) < 6; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		target.Protease1.PlaceLigand(m)
+		poses = append(poses, Pose{CompoundID: m.Name, Mol: m})
+	}
+	slot := &fusion.Sample{}
+	i := 0
+	loop := func() {
+		ps := poses[i%len(poses)]
+		fusion.FeaturizeComplexWithPrefeature(slot, pre, ps.CompoundID, ps.Mol, 0)
+		i++
+	}
+	// Warm-up must see every pose so the slot's buffers and scratch
+	// grow to the stream's maximum before measuring.
+	for w := 0; w < 2*len(poses); w++ {
+		loop()
+	}
+	if avg := testing.AllocsPerRun(60, loop); avg != 0 {
+		t.Fatalf("warm featurizing loader allocates %.1f times per pose, want 0", avg)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"deepfusion/internal/featurize"
 	"deepfusion/internal/fusion"
+	"deepfusion/internal/target"
 )
 
 // Scorer is the one scoring contract of the whole funnel: anything
@@ -120,6 +121,43 @@ func mergeFeatureOptions(scorers []Scorer, vo featurize.VoxelOptions, gro featur
 	return vo, gro, nil
 }
 
+// scorerSetNeedsFeatures reports whether any scorer in the set
+// declares a featurized representation through the Featurizer
+// handshake — when none does, jobs skip voxelization and graph
+// construction entirely.
+func scorerSetNeedsFeatures(scorers []Scorer) bool {
+	for _, s := range scorers {
+		if f, ok := s.(Featurizer); ok {
+			if fo := f.FeatureOptions(); fo.Voxel != nil || fo.Graph != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PrefeatureFor builds the target-invariant featurization cache a job
+// with this scorer set will use against p: the scorer set's merged
+// featurization options applied to featurize.NewPocketPrefeature. It
+// returns nil (and no error) when the set declares no featurized
+// representation — such jobs skip featurization entirely. Callers that
+// screen many pose batches against one target (the campaign
+// orchestrator) build this once and set JobOptions.Prefeature on every
+// job; the cache is immutable and safe to share across jobs and ranks.
+func PrefeatureFor(scorers []Scorer, p *target.Pocket, o JobOptions) (*featurize.PocketPrefeature, error) {
+	if err := ValidateScorerSet(scorers); err != nil {
+		return nil, err
+	}
+	vo, gro, err := mergeFeatureOptions(scorers, o.Voxel, o.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if !scorerSetNeedsFeatures(scorers) {
+		return nil, nil
+	}
+	return featurize.NewPocketPrefeature(p, vo, gro), nil
+}
+
 // replicaOf returns the scorer a rank should score on: a private clone
 // when the scorer implements the Cloner handshake, the shared instance
 // otherwise.
@@ -133,6 +171,17 @@ func replicaOf(s Scorer) Scorer {
 		return s
 	}
 	return r
+}
+
+// replicasOf builds the per-rank replica set of a scorer list — one
+// replicaOf per scorer, in order. Shared by the engine's rank loop and
+// the conformance suite.
+func replicasOf(scorers []Scorer) []Scorer {
+	replicas := make([]Scorer, len(scorers))
+	for i, s := range scorers {
+		replicas[i] = replicaOf(s)
+	}
+	return replicas
 }
 
 // ScorerNames returns the stable name set of a scorer list, in list

@@ -141,6 +141,39 @@ func TestScorerConformance(t *testing.T) {
 	}
 }
 
+// TestReplicasOfMatchesOriginals pins the replica-set helper the rank
+// loop is built on: replicasOf replicates every Cloner in the set into
+// a distinct instance with identical scores, and passes stateless
+// scorers through unchanged.
+func TestReplicasOfMatchesOriginals(t *testing.T) {
+	byName := conformanceScorers(t)
+	samples := conformanceSamples(t, 3)
+	var set []Scorer
+	for _, name := range []string{"cnn3d", "sgcnn", "coherent", "vina", "mmgbsa"} {
+		set = append(set, byName[name])
+	}
+	replicas := replicasOf(set)
+	if len(replicas) != len(set) {
+		t.Fatalf("replicasOf returned %d scorers for %d", len(replicas), len(set))
+	}
+	for i, s := range set {
+		r := replicas[i]
+		if r.Name() != s.Name() {
+			t.Fatalf("replica %d renamed itself: %q vs %q", i, r.Name(), s.Name())
+		}
+		if _, cloner := s.(Cloner); cloner && r == s {
+			t.Fatalf("replica %d (%s) shares the original instance despite the Cloner handshake", i, s.Name())
+		}
+		want := s.ScoreBatch(samples)
+		got := r.ScoreBatch(samples)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("replica %d (%s) sample %d: %v != original %v", i, s.Name(), j, got[j], want[j])
+			}
+		}
+	}
+}
+
 // TestConsensusOrientsKcalMembers pins the consensus mix: kcal/mol
 // members (lower better) are negated and converted to pK scale before
 // averaging, so a strongly-bound pose raises the consensus.

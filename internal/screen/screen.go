@@ -19,6 +19,7 @@ package screen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -78,6 +79,18 @@ type JobOptions struct {
 	// featurizes once with the merged options).
 	Voxel featurize.VoxelOptions
 	Graph featurize.GraphOptions
+	// Prefeature optionally injects a shared, read-only featurization
+	// cache (featurize.NewPocketPrefeature, or PrefeatureFor) built
+	// for this job's target and merged featurization options — the
+	// campaign layer builds one per target and reuses it across every
+	// compound chunk. It must match the job's (pocket, options) pair;
+	// the engine refuses a mismatch. Nil lets the engine build its own
+	// per job. Never serialized: a resumed campaign rebuilds it.
+	Prefeature *featurize.PocketPrefeature `json:"-"`
+	// DisablePrefeature forces per-pose re-featurization of the pocket
+	// (the pre-cache path) — an A/B escape hatch for benchmarks and
+	// byte-identity tests, not a production knob.
+	DisablePrefeature bool `json:"-"`
 	// FailureProb injects the paper's observed job failures (bad
 	// metadata, node failure, broken pipes). A failed job returns
 	// ErrJobFailed and must be resubmitted by the caller.
@@ -128,10 +141,13 @@ func injectFailure(o JobOptions) bool {
 // implementing the ScorerInto handshake score through it into
 // rank-owned prediction buffers — and the loaders draw pose slots from
 // a per-rank free list, featurizing into recycled voxel/graph buffers
-// (FeaturizeComplexInto) and returning each slot once its batch has
-// been emitted. After the first few batches warm the pools, the only
-// per-pose allocations left are the emit-side bookkeeping of the
-// caller.
+// and returning each slot once its batch has been emitted. The
+// target-invariant half of featurization is computed once per job (or
+// injected via JobOptions.Prefeature and shared across jobs) and read
+// concurrently by every loader (FeaturizeComplexWithPrefeature), so a
+// pose costs only its ligand's share of splatting and neighbor search.
+// After the first few batches warm the pools, the only per-pose
+// allocations left are the emit-side bookkeeping of the caller.
 func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []Pose, o JobOptions, emit func(idx int, pr Prediction)) error {
 	vo, gro, err := mergeFeatureOptions(scorers, o.Voxel, o.Graph)
 	if err != nil {
@@ -144,13 +160,21 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 	// hand over raw samples — identity, pocket and posed molecule only
 	// — instead of voxelizing and graph-building representations
 	// nothing will read.
-	needFeatures := false
-	for _, s := range scorers {
-		if f, ok := s.(Featurizer); ok {
-			if fo := f.FeatureOptions(); fo.Voxel != nil || fo.Graph != nil {
-				needFeatures = true
-				break
+	needFeatures := scorerSetNeedsFeatures(scorers)
+	// The target-invariant half of featurization (pocket voxel
+	// baseline, pocket node rows, the cell list) is computed once per
+	// job — or once per campaign target, when the caller injects a
+	// shared prefeature — and shared read-only by every loader on
+	// every rank.
+	var pre *featurize.PocketPrefeature
+	if needFeatures && !o.DisablePrefeature {
+		if o.Prefeature != nil {
+			if !o.Prefeature.Matches(p, vo, gro) {
+				return fmt.Errorf("screen: job prefeature was built for a different (target, featurization options) pair than (%s, %+v, %+v)", p.Name, vo, gro)
 			}
+			pre = o.Prefeature
+		} else {
+			pre = featurize.NewPocketPrefeature(p, vo, gro)
 		}
 	}
 	bs := o.BatchSize
@@ -174,10 +198,7 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			replicas := make([]Scorer, len(scorers))
-			for i, s := range scorers {
-				replicas[i] = replicaOf(s)
-			}
+			replicas := replicasOf(scorers)
 			// One workspace per rank, shared by its replicas, makes the
 			// scoring loop allocation-free for ScorerInto scorers.
 			var ws *fusion.Workspace
@@ -199,7 +220,7 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 			// The rank's share: index-strided, as in the paper ("divide
 			// the set of compounds by the number of ranks and assign
 			// each rank the subset with its index").
-			var mine []int
+			mine := make([]int, 0, len(poses)/o.Ranks+1)
 			for i := rank; i < len(poses); i += o.Ranks {
 				mine = append(mine, i)
 			}
@@ -239,9 +260,12 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 							return
 						}
 						ps := poses[i]
-						if needFeatures {
+						switch {
+						case pre != nil:
+							fusion.FeaturizeComplexWithPrefeature(s, pre, ps.CompoundID, ps.Mol, 0)
+						case needFeatures:
 							fusion.FeaturizeComplexInto(s, ps.CompoundID, p, ps.Mol, 0, vo, gro)
-						} else {
+						default:
 							s.ID, s.Pocket, s.Mol, s.Label = ps.CompoundID, p, ps.Mol, 0
 							s.Voxels, s.Graph = nil, nil
 						}
@@ -387,6 +411,10 @@ func RunJobWithRetry(ctx context.Context, s Scorer, p *target.Pocket, poses []Po
 }
 
 // RunJobEnsembleWithRetry is RunJobWithRetry over a scorer ensemble.
+// Only ErrJobFailed — the transient, injected failure mode — is
+// retried; deterministic errors (scorer-set validation, a mismatched
+// prefeature, feature-option conflicts) would fail identically on
+// every resubmission and surface immediately instead.
 func RunJobEnsembleWithRetry(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []Pose, o JobOptions, maxAttempts int) ([]Prediction, int, error) {
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -396,6 +424,9 @@ func RunJobEnsembleWithRetry(ctx context.Context, scorers []Scorer, p *target.Po
 		}
 		if ctx.Err() != nil {
 			return nil, attempt + 1, ctx.Err()
+		}
+		if !errors.Is(err, ErrJobFailed) {
+			return nil, attempt + 1, err
 		}
 		lastErr = err
 		o.Seed++
