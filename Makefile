@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-report bench-smoke clean
+.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-smoke clean
 
 all: build
 
@@ -43,16 +43,23 @@ bench-screen:
 bench-consensus:
 	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkConsensus' -benchtime 2s | tee bench_consensus.txt
 
-# Hot-path performance trajectory: before/after pairs for Voxelize,
-# BuildGraph, the combined per-pose featurization and RunJob across
-# the uncached and prefeature-cached paths
-# (cmd/benchreport/kernels.go). BENCH_5.json is the committed
-# trajectory artifact of the target-invariant featurization PR
-# (BENCH_4.json stays as the PR-4 pooled-inference record); CI uploads
-# a fresh copy as a workflow artifact.
+# Hot-path performance trajectory: f64-reference vs f32-fast-path
+# pairs for the packed panel GEMM, the lowered Conv3D forward, the
+# Coherent PredictBatch and the distributed RunJob
+# (cmd/benchreport/kernels.go). BENCH_6.json is the committed
+# trajectory artifact of the float32 inference PR (BENCH_5.json stays
+# as the PR-5 featurization-cache record); CI uploads a fresh copy as
+# a workflow artifact.
 bench-kernels:
-	$(GO) run ./cmd/benchreport -kernels -json > BENCH_5.json
-	@echo "wrote BENCH_5.json"
+	$(GO) run ./cmd/benchreport -kernels -json > BENCH_6.json
+	@echo "wrote BENCH_6.json"
+
+# Precision microbenchmarks: the f64/f32 kernel pairs as plain `go
+# test -bench` runs (packed GEMM, Coherent PredictBatch, RunJob) for
+# quick iteration without regenerating the JSON artifact.
+bench-precision:
+	$(GO) test ./internal/tensor/ ./internal/fusion/ -run xxx -bench 'BenchmarkMatMulPacked|BenchmarkPredictBatchInto' -benchtime 1s | tee bench_precision.txt
+	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkRunJobBatched' -benchtime 2s | tee -a bench_precision.txt
 
 # Featurization microbenchmarks: Voxelize/BuildGraph per pose, cached
 # vs uncached, repro + paper grids (internal/featurize/bench_test.go).
@@ -72,7 +79,7 @@ bench-report:
 bench-smoke:
 	BENCH_SCALE=smoke $(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-bench: bench-screen bench-consensus bench-featurize bench-kernels bench-report
+bench: bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report
 
 clean:
-	rm -f bench_screen.txt bench_consensus.txt bench_featurize.txt bench_report.json
+	rm -f bench_screen.txt bench_consensus.txt bench_featurize.txt bench_precision.txt bench_report.json

@@ -1,25 +1,29 @@
 package main
 
 // The -kernels mode records the performance trajectory of the
-// screening engine's hot paths. For PR 5 that is featurization: the
-// per-pose cost of the voxel grid and the spatial graph, uncached vs
-// through the target-invariant PocketPrefeature cache (pocket voxel
-// baseline + touched-voxel restore, cached pocket node rows, cell-list
-// neighbor search) — at the repro grid and at the paper's 48^3 grid —
-// plus the full distributed scoring job with the cache on and off.
-// `make bench` archives the JSON form as BENCH_5.json. (BENCH_4.json,
-// the PR-4 allocating-vs-pooled inference trajectory, stays committed
-// as history.)
+// screening engine's hot paths. For PR 6 that is precision: every row
+// pairs the pinned float64 reference against the float32 fast path —
+// the packed GEMM panel kernel, the lowered Conv3D forward, the full
+// Coherent PredictBatch at repro and paper scale, and the distributed
+// scoring job end to end — on identical shapes and weights, so the
+// speedup column is the memory-traffic win of halving the element
+// width plus the SSE width of the f32 scatter/axpy kernels. `make
+// bench` archives the JSON form as BENCH_6.json. (BENCH_5.json, the
+// PR-5 featurization-cache trajectory, stays committed as history; its
+// RunJob/after-prefeature row — 541 poses/s — is the baseline the f64
+// RunJob row here chains from.)
 
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
-	"deepfusion/internal/chem"
 	"deepfusion/internal/featurize"
 	"deepfusion/internal/fusion"
 	"deepfusion/internal/libgen"
+	"deepfusion/internal/nn"
 	"deepfusion/internal/screen"
 	"deepfusion/internal/target"
 	"deepfusion/internal/tensor"
@@ -41,6 +45,10 @@ type kernelReport struct {
 }
 
 func record(name string, extra map[string]float64, fn func(b *testing.B)) benchRecord {
+	// All pairs share one process; return the previous benchmark's dead
+	// heap to the runtime so a 48^3-scale pair doesn't tax the next
+	// record's GC on the single-core host.
+	runtime.GC()
 	r := testing.Benchmark(fn)
 	return benchRecord{
 		Name:        name,
@@ -64,24 +72,28 @@ func benchPoses(n int) []screen.Pose {
 	return poses
 }
 
-// kernelLigand is the mid-sized drug-like probe the featurization
-// rows share (same molecule as internal/featurize's benchmarks).
-func kernelLigand() *chem.Mol {
-	m, err := chem.ParseSMILES("CCN(CC)CCNC(=O)c1ccc(N)cc1")
-	if err != nil {
-		panic(err)
+// benchSamples featurizes n library poses at the given voxel options —
+// the PredictBatch pairs score exactly this batch at both precisions.
+func benchSamples(n int, vo featurize.VoxelOptions) []*fusion.Sample {
+	gro := featurize.DefaultGraphOptions()
+	var samples []*fusion.Sample
+	for i := 0; len(samples) < n; i++ {
+		m, err := libgen.ZINC.Mol(i)
+		if err != nil {
+			continue
+		}
+		target.Protease1.PlaceLigand(m)
+		samples = append(samples, fusion.FeaturizeComplex(m.Name, target.Protease1, m, 0, vo, gro))
 	}
-	chem.Embed3D(m, 3)
-	target.Protease1.PlaceLigand(m)
-	return m
+	return samples
 }
 
 func runKernelReport() kernelReport {
 	rep := kernelReport{
-		PR: 5,
-		Note: "target-invariant featurization: before = per-pose pocket re-featurization, " +
-			"after = shared PocketPrefeature (pocket voxel baseline + touched-voxel restore, " +
-			"cached node rows, cell-list K-NN); byte-identical outputs",
+		PR: 6,
+		Note: "float32 inference fast path: before = pinned f64 reference, after = f32 " +
+			"(convert-once packed weights, f32 panel GEMM / conv scatter / im2col, " +
+			"widen-at-output); identical shapes and weights, rank-fidelity pinned by the A/B harness",
 		Speedups: map[string]float64{},
 	}
 	add := func(group string, before, after benchRecord) {
@@ -89,97 +101,122 @@ func runKernelReport() kernelReport {
 		rep.Speedups[group] = before.NsPerOp / after.NsPerOp
 	}
 
-	m := kernelLigand()
-	gro := featurize.DefaultGraphOptions()
-
-	// Voxelize at the paper grid (48^3 at 1 A): the uncached path
-	// zeroes the whole 16-channel grid and splats ligand + pocket;
-	// the cached path restores the previous pose's touched voxels and
-	// splats the ligand only.
-	voxelPair := func(group string, vo featurize.VoxelOptions) {
-		before := record(group+"/before-uncached", nil, func(b *testing.B) {
-			b.ReportAllocs()
-			dst := featurize.Voxelize(target.Protease1, m, vo)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dst = featurize.VoxelizeInto(dst, target.Protease1, m, vo)
-			}
-		})
-		after := record(group+"/after-prefeature", nil, func(b *testing.B) {
-			b.ReportAllocs()
-			pf := featurize.NewPocketPrefeature(target.Protease1, vo, gro)
-			var st featurize.VoxelSlotState
-			dst := pf.VoxelizeInto(nil, &st, m)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dst = pf.VoxelizeInto(dst, &st, m)
-			}
-		})
-		add(group, before, after)
-	}
-	voxelPair("VoxelizePaper", featurize.PaperVoxelOptions())
-
-	// BuildGraph at the production graph options: cached pocket node
-	// rows + cell-list K-NN vs the brute-force sweep.
+	// Packed panel GEMM at a dense-layer shape big enough to spill the
+	// cache: the B panel is where the element width shows up as pure
+	// memory traffic.
 	{
-		before := record("BuildGraph/before-uncached", nil, func(b *testing.B) {
+		const m64, k64, n64 = 8, 2048, 512
+		rng := rand.New(rand.NewSource(61))
+		a := tensor.New(m64, k64)
+		bm := tensor.New(k64, n64)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range bm.Data {
+			bm.Data[i] = rng.NormFloat64()
+		}
+		before := record("MatMulPacked/f64", nil, func(b *testing.B) {
 			b.ReportAllocs()
-			g := featurize.BuildGraph(target.Protease1, m, gro)
+			var pb tensor.PackedB
+			pb.Pack(bm)
+			c := tensor.New(m64, n64)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				g = featurize.BuildGraphInto(g, target.Protease1, m, gro)
+				tensor.MatMulPackedInto(c, a, &pb)
 			}
 		})
-		after := record("BuildGraph/after-prefeature", nil, func(b *testing.B) {
+		after := record("MatMulPacked/f32", nil, func(b *testing.B) {
 			b.ReportAllocs()
-			pf := featurize.NewPocketPrefeature(target.Protease1, featurize.DefaultVoxelOptions(), gro)
-			g := pf.BuildGraphInto(nil, m)
+			bm32 := tensor.NewF32(k64, n64)
+			bm32.CopyFrom64(bm)
+			var pb tensor.PackedB32
+			pb.Pack(bm32)
+			a32 := tensor.NewF32(m64, k64)
+			a32.CopyFrom64(a)
+			c := tensor.NewF32(m64, n64)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				g = pf.BuildGraphInto(g, m)
+				tensor.MatMulPacked32Into(c, a32, &pb)
 			}
 		})
-		add("BuildGraph", before, after)
+		add("MatMulPacked", before, after)
 	}
 
-	// FeaturizePose: the loader's full per-pose work (voxel grid +
-	// spatial graph) at both scales — the pair the ISSUE's >=2x
-	// acceptance bar is measured on at PaperVoxelOptions.
-	posePair := func(group string, vo featurize.VoxelOptions) {
-		before := record(group+"/before-uncached", nil, func(b *testing.B) {
+	// Lowered Conv3D forward on the tile (im2col+GEMM) path: batch 8,
+	// 16 channels, 16^3 grid, 32 filters.
+	{
+		conv := nn.NewConv3D(rand.New(rand.NewSource(62)), 16, 32, 3)
+		x := tensor.New(8, 16, 16, 16, 16)
+		rng := rand.New(rand.NewSource(63))
+		for i := range x.Data {
+			if rng.Float64() < 0.2 {
+				x.Data[i] = rng.NormFloat64()
+			}
+		}
+		x32 := tensor.NewF32FromShape(x.Shape)
+		x32.CopyFrom64(x)
+		ws := nn.NewWorkspace()
+		before := record("Conv3DForward/f64", nil, func(b *testing.B) {
 			b.ReportAllocs()
-			dst := featurize.Voxelize(target.Protease1, m, vo)
-			g := featurize.BuildGraph(target.Protease1, m, gro)
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dst = featurize.VoxelizeInto(dst, target.Protease1, m, vo)
-				g = featurize.BuildGraphInto(g, target.Protease1, m, gro)
+				ws.Reset()
+				conv.ForwardInfer(x, ws)
 			}
 		})
-		after := record(group+"/after-prefeature", nil, func(b *testing.B) {
+		after := record("Conv3DForward/f32", nil, func(b *testing.B) {
 			b.ReportAllocs()
-			pf := featurize.NewPocketPrefeature(target.Protease1, vo, gro)
-			var st featurize.VoxelSlotState
-			var g *featurize.Graph
-			var dst *tensor.Tensor
-			dst = pf.VoxelizeInto(dst, &st, m)
-			g = pf.BuildGraphInto(g, m)
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dst = pf.VoxelizeInto(dst, &st, m)
-				g = pf.BuildGraphInto(g, m)
+				ws.Reset()
+				conv.ForwardInfer32(x32, ws)
 			}
 		})
-		add(group, before, after)
+		add("Conv3DForward", before, after)
 	}
-	posePair("FeaturizePoseRepro", featurize.DefaultVoxelOptions())
-	posePair("FeaturizePosePaper", featurize.PaperVoxelOptions())
 
-	// RunJob: the distributed scoring job end to end on identical
-	// options — per-pose pocket re-featurization (DisablePrefeature)
-	// vs the shared per-job prefeature. Same job shape as the PR-4
-	// trajectory (96 poses, 2 ranks, 2 loaders, batch 8), so the
-	// poses/s rows chain across the committed BENCH_*.json artifacts.
+	// PredictBatch: the whole Coherent Fusion forward (voxel head +
+	// graph head + fusion trunk) at both scales. The repro pair (8^3
+	// grid, 8/16 filters, batch 8) chains from the PR-4 PredictBatch
+	// trajectory; the headline pair runs the paper's production shape
+	// (48^3 voxel grid, 32/64 conv filters, 128 dense nodes), where
+	// the grids spill every cache level and the halved element width
+	// plus the 4-wide f32 scatter kernel show up as wall-clock.
+	predictPair := func(group string, coh *fusion.Fusion, samples []*fusion.Sample) {
+		out := make([]float64, len(samples))
+		one := func(name string, p fusion.Precision) benchRecord {
+			return record(name, nil, func(b *testing.B) {
+				b.ReportAllocs()
+				ws := fusion.NewWorkspaceFor(p)
+				coh.PredictBatchInto(samples, ws, out) // warm packs and pools
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					coh.PredictBatchInto(samples, ws, out)
+				}
+			})
+		}
+		add(group, one(group+"/f64", fusion.PrecisionF64), one(group+"/f32", fusion.PrecisionF32))
+	}
+	{
+		cnn := fusion.NewCNN3D(fusion.DefaultCNN3DConfig(), 64)
+		sg := fusion.NewSGCNN(fusion.DefaultSGCNNConfig(), 65)
+		coh := fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, 66)
+		predictPair("PredictBatchRepro", coh, benchSamples(8, featurize.DefaultVoxelOptions()))
+	}
+	{
+		cfg := fusion.DefaultCNN3DConfig()
+		cfg.Voxel = featurize.PaperVoxelOptions()
+		cfg.ConvFilters1 = 32
+		cfg.ConvFilters2 = 64
+		cfg.DenseNodes = 128
+		cnn := fusion.NewCNN3D(cfg, 67)
+		sg := fusion.NewSGCNN(fusion.DefaultSGCNNConfig(), 68)
+		coh := fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, 69)
+		predictPair("PredictBatch", coh, benchSamples(2, cfg.Voxel))
+	}
+
+	// RunJob: the distributed scoring job end to end at both engine
+	// precisions. Same job shape as the PR-4/PR-5 trajectories (96
+	// poses, 2 ranks, 2 loaders, batch 8), so the poses/s rows chain
+	// across the committed BENCH_*.json artifacts.
 	{
 		cnn := fusion.NewCNN3D(fusion.DefaultCNN3DConfig(), 46)
 		sg := fusion.NewSGCNN(fusion.DefaultSGCNNConfig(), 47)
@@ -200,13 +237,22 @@ func runKernelReport() kernelReport {
 				}
 			}
 		}
-		oOff := o
-		oOff.DisablePrefeature = true
-		before := record("RunJob/before-uncached", nil, runJob(oOff))
-		before.Extra = map[string]float64{"poses/s": posesPerSec(before.NsPerOp)}
-		after := record("RunJob/after-prefeature", nil, runJob(o))
-		after.Extra = map[string]float64{"poses/s": posesPerSec(after.NsPerOp)}
-		add("RunJob", before, after)
+		o32 := o
+		o32.Precision = screen.PrecisionF32
+		// A 2-rank job on a single core is scheduler-noise dominated
+		// (isolated runs swing ±15%), so record the best of three — the
+		// stable floor — rather than one draw per precision.
+		best := func(name string, fn func(b *testing.B)) benchRecord {
+			r := record(name, nil, fn)
+			for i := 0; i < 2; i++ {
+				if again := record(name, nil, fn); again.NsPerOp < r.NsPerOp {
+					r = again
+				}
+			}
+			r.Extra = map[string]float64{"poses/s": posesPerSec(r.NsPerOp)}
+			return r
+		}
+		add("RunJob", best("RunJob/f64", runJob(o)), best("RunJob/f32", runJob(o32)))
 	}
 	return rep
 }
@@ -222,7 +268,7 @@ func printKernelReport(rep kernelReport) {
 		fmt.Println()
 	}
 	fmt.Println()
-	for _, g := range []string{"VoxelizePaper", "BuildGraph", "FeaturizePoseRepro", "FeaturizePosePaper", "RunJob"} {
+	for _, g := range []string{"MatMulPacked", "Conv3DForward", "PredictBatchRepro", "PredictBatch", "RunJob"} {
 		fmt.Printf("speedup %-20s %.2fx\n", g, rep.Speedups[g])
 	}
 }

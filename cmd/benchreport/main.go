@@ -3,10 +3,10 @@
 // one; -json emits a machine-readable array of {experiment, text}
 // records so the Makefile's bench target can archive the perf
 // trajectory. -kernels instead records the screening engine's hot-path
-// performance trajectory — for PR 5, before/after pairs for Voxelize,
-// BuildGraph, the combined per-pose featurization and RunJob across
-// the uncached and prefeature-cached paths; `make bench` archives its
-// JSON form as BENCH_5.json.
+// performance trajectory — for PR 6, f64-vs-f32 pairs for the packed
+// panel GEMM, the lowered Conv3D forward, the Coherent PredictBatch
+// and the distributed RunJob; `make bench` archives its JSON form as
+// BENCH_6.json.
 package main
 
 import (
@@ -26,7 +26,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|table1|table2|table3|table4|table5|table6|table7|table8|fig2|fig4|fig5|fig6|fig7|hitrate|all")
 	full := flag.Bool("full", false, "use the full benchmark budget (minutes) instead of the smoke budget")
 	asJSON := flag.Bool("json", false, "emit a JSON array of {experiment, text} records instead of plain text")
-	kernels := flag.Bool("kernels", false, "benchmark the engine's uncached vs prefeature-cached featurization paths (Voxelize, BuildGraph, FeaturizePose, RunJob) instead of the paper experiments")
+	kernels := flag.Bool("kernels", false, "benchmark the engine's f64 reference vs f32 fast-path kernels (MatMulPacked, Conv3DForward, PredictBatch, RunJob) instead of the paper experiments")
 	flag.Parse()
 
 	if *kernels {

@@ -10,8 +10,8 @@
 //
 //	campaign run    -dir DIR [-targets a,b] [-scorers a,b,c] [-n N]
 //	                [-chunk N] [-workers N] [-loaders N] [-top N]
-//	                [-failprob P] [-seed N] [-full]
-//	campaign resume -dir DIR
+//	                [-precision f64|f32] [-failprob P] [-seed N] [-full]
+//	campaign resume -dir DIR [-precision f64|f32]
 //	campaign status -dir DIR
 //
 // `run` creates the campaign (refusing to clobber an existing one),
@@ -96,6 +96,7 @@ func cmdRun(args []string) {
 	chunk := fs.Int("chunk", 12, "compounds per work unit")
 	workers := fs.Int("workers", 2, "concurrently running units")
 	loaders := fs.Int("loaders", 0, "data loaders per rank inside each unit's scoring job — the featurization/inference balance, recorded in the manifest (0 = engine default)")
+	precision := fs.String("precision", "f64", "engine arithmetic: f64 (reference) or f32 (fast path), recorded in the manifest")
 	top := fs.Int("top", 8, "compounds selected per target")
 	failprob := fs.Float64("failprob", 0, "injected per-job failure probability (paper: ~0.03 at 4 nodes)")
 	seed := fs.Int64("seed", 1, "campaign seed (docking + failure dice; never the scores)")
@@ -115,6 +116,7 @@ func cmdRun(args []string) {
 	if *loaders > 0 {
 		cfg.Job.LoadersPerRank = *loaders
 	}
+	cfg.Job.Precision = campaign.Precision(*precision)
 	cfg.TopN = *top
 	cfg.Job.FailureProb = *failprob
 	cfg.Seed = *seed
@@ -140,6 +142,7 @@ func cmdRun(args []string) {
 func cmdResume(args []string) {
 	fs := flag.NewFlagSet("campaign resume", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory to resume (required)")
+	precision := fs.String("precision", "", "engine arithmetic the resume expects (f64|f32); must match the manifest (default: accept the manifest's)")
 	fs.Parse(args)
 	if *dir == "" {
 		log.Fatal("resume: -dir is required")
@@ -156,13 +159,17 @@ func cmdResume(args []string) {
 	if cfg.ModelScale != "" {
 		scale = cfg.ModelScale
 	}
-	fmt.Printf("resuming %s: %d/%d units done, rebuilding scorer set %v (scale=%s)...\n",
-		st.Name, st.Done, st.Total, cfg.Scorers, scale)
+	fmt.Printf("resuming %s: %d/%d units done, rebuilding scorer set %v (scale=%s, precision=%s)...\n",
+		st.Name, st.Done, st.Total, cfg.Scorers, scale, st.Precision)
 	set, err := experiments.ScorersByName(scaleOf(scale), cfg.Scorers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, err := campaign.Load(*dir, set)
+	var opts []campaign.LoadOption
+	if *precision != "" {
+		opts = append(opts, campaign.WithPrecision(campaign.Precision(*precision)))
+	}
+	c, err := campaign.Load(*dir, set, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -217,6 +224,7 @@ func execute(c *campaign.Campaign) {
 func printStatus(st campaign.Status) {
 	fmt.Printf("campaign %s (%s)\n", st.Name, st.Dir)
 	fmt.Printf("scorers: %s\n", strings.Join(st.Scorers, ", "))
+	fmt.Printf("precision: %s\n", st.Precision)
 	fmt.Printf("deck: %d compounds; units: %d done, %d in-flight, %d failed, %d pending of %d; poses scored: %d\n",
 		st.DeckSize, st.Done, st.InFlight, st.Failed, st.Pending, st.Total, st.Poses)
 	for _, ts := range st.PerTarget {

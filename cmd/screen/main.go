@@ -33,6 +33,7 @@ func main() {
 	outDir := flag.String("out", "", "directory for h5lite prediction shards (optional)")
 	shards := flag.Int("shards", 4, "output shards (parallel writers)")
 	loaders := flag.Int("loaders", 0, "data loaders per rank — the featurization/inference balance (0 = engine default)")
+	precision := flag.String("precision", "f64", "engine arithmetic: f64 (reference) or f32 (fast path)")
 	full := flag.Bool("full", false, "use the full model-training budget")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `screen — one-shot virtual screening funnel for a single target
@@ -85,6 +86,7 @@ Usage: screen [flags]
 	if *loaders > 0 {
 		jobOpts.LoadersPerRank = *loaders
 	}
+	jobOpts.Precision = screen.Precision(*precision)
 	preds, attempts, err := screen.RunJobWithRetry(ctx, sc, tgt, poses, jobOpts, 3)
 	if err != nil {
 		log.Fatal(err)

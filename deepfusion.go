@@ -48,6 +48,15 @@ type (
 	}
 	// CompoundScore is a per-compound screening outcome.
 	CompoundScore = screen.CompoundScore
+	// Precision selects the screening engine's inference arithmetic:
+	// PrecisionF64 (verified reference) or PrecisionF32 (fast path).
+	Precision = screen.Precision
+)
+
+// Engine precisions for Pipeline.WithPrecision and JobOptions.
+const (
+	PrecisionF64 = screen.PrecisionF64
+	PrecisionF32 = screen.PrecisionF32
 )
 
 // Targets returns the four SARS-CoV-2 binding sites (protease1,

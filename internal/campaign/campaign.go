@@ -151,6 +151,9 @@ func (c Config) validate() error {
 			return fmt.Errorf("campaign: unknown target %q", name)
 		}
 	}
+	if err := c.Job.Precision.Validate(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
 	return nil
 }
 
@@ -201,6 +204,10 @@ func New(dir string, cfg Config, scorers []screen.Scorer) (*Campaign, error) {
 	}
 	cfg = cfg.withDefaults()
 	cfg.Scorers = screen.ScorerNames(scorers)
+	// Record the engine precision explicitly ("f64" for the legacy
+	// empty knob), so the manifest states what every shard was scored
+	// at and Load can hold resumers to it.
+	cfg.Job.Precision = cfg.Job.Precision.Normalize()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -224,6 +231,39 @@ func New(dir string, cfg Config, scorers []screen.Scorer) (*Campaign, error) {
 	return newHandle(dir, man, deck, scorers), nil
 }
 
+// Precision re-exports the engine's arithmetic knob so campaign
+// callers configure Config.Job and WithPrecision without importing
+// the engine package.
+type Precision = screen.Precision
+
+// Engine precisions accepted by Config.Job.Precision.
+const (
+	PrecisionF64 = screen.PrecisionF64
+	PrecisionF32 = screen.PrecisionF32
+)
+
+// LoadOption declares an intent the resuming process holds Load to;
+// Load refuses to reopen a campaign whose manifest contradicts it.
+type LoadOption func(*loadChecks)
+
+type loadChecks struct {
+	precision      screen.Precision
+	checkPrecision bool
+}
+
+// WithPrecision declares the engine precision the resuming process
+// intends to score at. Completed shards were scored at the manifest's
+// recorded precision; resuming at a different one would mix f32 and
+// f64 score columns inside a campaign whose selections are only
+// comparable within one arithmetic width — so, exactly like a changed
+// scorer set, Load refuses the mismatch.
+func WithPrecision(p screen.Precision) LoadOption {
+	return func(c *loadChecks) {
+		c.precision = p
+		c.checkPrecision = true
+	}
+}
+
 // Load reopens an existing campaign directory: the deck is
 // regenerated from the stored config, units recorded in-flight (the
 // process died mid-chunk) are reset to pending, and done units whose
@@ -231,8 +271,9 @@ func New(dir string, cfg Config, scorers []screen.Scorer) (*Campaign, error) {
 // is reproduced rather than silently dropped. The provided scorer set
 // must match the manifest's recorded names exactly — completed shards
 // were written by that set, and mixing sets would corrupt the
-// campaign's comparability guarantee.
-func Load(dir string, scorers []screen.Scorer) (*Campaign, error) {
+// campaign's comparability guarantee. Options declare further intents
+// (e.g. WithPrecision) the manifest must agree with.
+func Load(dir string, scorers []screen.Scorer, opts ...LoadOption) (*Campaign, error) {
 	man, err := loadManifest(dir)
 	if err != nil {
 		return nil, err
@@ -240,6 +281,15 @@ func Load(dir string, scorers []screen.Scorer) (*Campaign, error) {
 	got := screen.ScorerNames(scorers)
 	if !slices.Equal(got, man.Config.Scorers) {
 		return nil, fmt.Errorf("campaign: manifest records scorer set %v; refusing to resume with %v", man.Config.Scorers, got)
+	}
+	var checks loadChecks
+	for _, opt := range opts {
+		opt(&checks)
+	}
+	if checks.checkPrecision {
+		if want, intent := man.Config.Job.Precision.Normalize(), checks.precision.Normalize(); intent != want {
+			return nil, fmt.Errorf("campaign: manifest records precision %q; refusing to resume at %q", want, intent)
+		}
 	}
 	deck := drawDeck(man.Config)
 	if len(deck) != man.DeckSize {

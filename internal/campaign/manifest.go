@@ -128,6 +128,12 @@ func loadManifest(dir string) (*Manifest, error) {
 	if len(m.Config.Scorers) == 0 {
 		m.Config.Scorers = []string{"coherent"}
 	}
+	// Manifests written before the precision knob recorded no engine
+	// precision; they were all scored on the f64 reference path.
+	m.Config.Job.Precision = m.Config.Job.Precision.Normalize()
+	if err := m.Config.Job.Precision.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: manifest in %s: %w", dir, err)
+	}
 	return &m, nil
 }
 
@@ -146,6 +152,7 @@ type Status struct {
 	Dir       string
 	DeckSize  int
 	Scorers   []string // the manifest's recorded scorer set, primary first
+	Precision string   // the manifest's recorded engine precision ("f64"/"f32")
 	Done      int
 	InFlight  int
 	Pending   int
@@ -159,7 +166,15 @@ type Status struct {
 // status folds the manifest's unit grid into per-state and per-target
 // counts.
 func (m *Manifest) status(dir string) Status {
-	s := Status{Name: m.Name, Dir: dir, DeckSize: m.DeckSize, Scorers: m.Config.Scorers, Total: len(m.Units), Finalized: m.Finalized}
+	s := Status{
+		Name:      m.Name,
+		Dir:       dir,
+		DeckSize:  m.DeckSize,
+		Scorers:   m.Config.Scorers,
+		Precision: string(m.Config.Job.Precision.Normalize()),
+		Total:     len(m.Units),
+		Finalized: m.Finalized,
+	}
 	byTarget := map[string]*TargetStatus{}
 	var order []string
 	for _, u := range m.Units {

@@ -1,0 +1,16 @@
+package featurize
+
+// EmitF32 narrows a float64 feature block — a sample's [C,G,G,G]
+// voxel grid or its graph node rows — into a float32 batch tensor
+// slot. It is the featurization side of the f32 inference fast path:
+// per-pose features are still computed in float64 (shared with the
+// reference path and the prefeature caches), and narrow exactly once,
+// at batch-assembly time, into the tensor the f32 kernels consume.
+func EmitF32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic("featurize: EmitF32 length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}

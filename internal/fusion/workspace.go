@@ -32,14 +32,31 @@ import (
 // packings assume frozen weights: create it after training, which the
 // screening engine does by cloning rank replicas from trained models.
 type Workspace struct {
-	nn   *nn.Workspace
-	cov  []featurize.Edge
-	nc   []featurize.Edge
-	segs []graph.Segment
+	nn        *nn.Workspace
+	precision Precision
+	cov       []featurize.Edge
+	nc        []featurize.Edge
+	segs      []graph.Segment
 }
 
-// NewWorkspace returns an empty inference workspace.
-func NewWorkspace() *Workspace { return &Workspace{nn: nn.NewWorkspace()} }
+// NewWorkspace returns an empty inference workspace on the f64
+// reference path.
+func NewWorkspace() *Workspace { return NewWorkspaceFor(PrecisionF64) }
+
+// NewWorkspaceFor returns an empty inference workspace running at the
+// given precision: every PredictBatchInto/ScoreBatchInto call through
+// it dispatches to that numeric width, so the engine selects the
+// whole funnel's precision by constructing rank workspaces once. It
+// panics on an unknown precision (Validate upstream for an error).
+func NewWorkspaceFor(p Precision) *Workspace {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Workspace{nn: nn.NewWorkspace(), precision: p.Normalize()}
+}
+
+// Precision reports the numeric width this workspace dispatches to.
+func (ws *Workspace) Precision() Precision { return ws.precision }
 
 // Reset recycles the per-batch buffers; cached weight packings persist.
 func (ws *Workspace) Reset() { ws.nn.Reset() }
@@ -153,6 +170,10 @@ func (m *CNN3D) PredictBatchInto(samples []*Sample, ws *Workspace, out []float64
 		return
 	}
 	ws.Reset()
+	if ws.precision == PrecisionF32 {
+		m.predictBatchInto32(samples, ws, out)
+		return
+	}
 	pred, _ := m.forwardInfer(ws.stackVoxels(samples), ws.nn)
 	copy(out, pred.Data)
 }
@@ -165,6 +186,10 @@ func (m *SGCNN) PredictBatchInto(samples []*Sample, ws *Workspace, out []float64
 		return
 	}
 	ws.Reset()
+	if ws.precision == PrecisionF32 {
+		m.predictBatchInto32(samples, ws, out)
+		return
+	}
 	pred, _ := m.forwardBatchInfer(samples, ws)
 	copy(out, pred.Data)
 }
@@ -177,6 +202,10 @@ func (l *LateFusion) PredictBatchInto(samples []*Sample, ws *Workspace, out []fl
 		return
 	}
 	ws.Reset()
+	if ws.precision == PrecisionF32 {
+		l.predictBatchInto32(samples, ws, out)
+		return
+	}
 	cnnPred, _ := l.CNN.forwardInfer(ws.stackVoxels(samples), ws.nn)
 	sgPred, _ := l.SG.forwardBatchInfer(samples, ws)
 	for i := range out {
@@ -192,6 +221,10 @@ func (f *Fusion) PredictBatchInto(samples []*Sample, ws *Workspace, out []float6
 		return
 	}
 	ws.Reset()
+	if ws.precision == PrecisionF32 {
+		f.predictBatchInto32(samples, ws, out)
+		return
+	}
 	_, cnnLat := f.CNN.forwardInfer(ws.stackVoxels(samples), ws.nn)
 	_, sgLat := f.SG.forwardBatchInfer(samples, ws)
 

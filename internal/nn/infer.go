@@ -34,20 +34,38 @@ type Workspace struct {
 
 	packs map[*tensor.Tensor]*tensor.PackedB
 	trans map[*tensor.Tensor]*tensor.Tensor
+
+	// Float32 fast-path caches (infer32.go). The f32 arena and the
+	// converted weight forms live beside the f64 ones so a workspace
+	// serves whichever precision the batch runs at; conversion happens
+	// once per (weights, shape), at pack/cache time.
+	Arena32 *tensor.Arena32
+	packs32 map[*tensor.Tensor]*tensor.PackedB32
+	trans32 map[*tensor.Tensor]*tensor.F32
+	vecs32  map[*tensor.Tensor][]float32
+	bn32    map[*tensor.Tensor]*bnFold32
 }
 
 // NewWorkspace returns an empty inference workspace.
 func NewWorkspace() *Workspace {
 	return &Workspace{
-		Arena: tensor.NewArena(),
-		packs: map[*tensor.Tensor]*tensor.PackedB{},
-		trans: map[*tensor.Tensor]*tensor.Tensor{},
+		Arena:   tensor.NewArena(),
+		packs:   map[*tensor.Tensor]*tensor.PackedB{},
+		trans:   map[*tensor.Tensor]*tensor.Tensor{},
+		Arena32: tensor.NewArena32(),
+		packs32: map[*tensor.Tensor]*tensor.PackedB32{},
+		trans32: map[*tensor.Tensor]*tensor.F32{},
+		vecs32:  map[*tensor.Tensor][]float32{},
+		bn32:    map[*tensor.Tensor]*bnFold32{},
 	}
 }
 
 // Reset recycles the per-batch buffers. Cached weight packings persist
 // — they are the once-per-(weights, shape) part of the steady state.
-func (ws *Workspace) Reset() { ws.Arena.Reset() }
+func (ws *Workspace) Reset() {
+	ws.Arena.Reset()
+	ws.Arena32.Reset()
+}
 
 // PackedTransposed returns the cached panel packing of wᵀ, viewing w's
 // data as a row-major n x k matrix (higher-rank conv kernels collapse).

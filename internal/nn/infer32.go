@@ -1,0 +1,394 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepfusion/internal/tensor"
+)
+
+// This file is the float32 inference fast path: a ForwardInfer32
+// variant of every inference layer, mirroring infer.go loop for loop
+// at half the element width. Weights convert from the f64 training
+// tensors exactly once per workspace — at panel-pack, transpose-cache
+// or vector-cache time — and everything between the batch tensor and
+// the final score stays float32. Algorithm selection (scatter vs tile
+// convolution, panel widths, tile sizes) is byte-for-byte the same as
+// the f64 path so both precisions run the same code shape per config;
+// only rounding differs, which the A/B harness pins at the funnel
+// level and the tolerance tests pin per layer.
+
+// bnFold32 is the evaluation-mode BatchNorm folded to one multiply-add
+// per element: scale = γ/√(var+ε), shift = β − mean·scale.
+type bnFold32 struct {
+	scale, shift []float32
+}
+
+// Packed32Transposed returns the cached f32 panel packing of wᵀ,
+// converting the float64 weights while packing (the single f64→f32
+// conversion point of the dense products).
+func (ws *Workspace) Packed32Transposed(w *tensor.Tensor, n, k int) *tensor.PackedB32 {
+	if pb, ok := ws.packs32[w]; ok {
+		return pb
+	}
+	pb := &tensor.PackedB32{}
+	pb.PackTransposed64(w.Data, n, k)
+	ws.packs32[w] = pb
+	return pb
+}
+
+// Transposed32 returns the cached f32 materialized transpose of w
+// viewed as a row-major n x k matrix, shaped [k, n] — the layout the
+// sparse scatter and tile convolutions read.
+func (ws *Workspace) Transposed32(w *tensor.Tensor, n, k int) *tensor.F32 {
+	if t, ok := ws.trans32[w]; ok {
+		return t
+	}
+	t := tensor.Transpose64To32(w.Data, n, k)
+	ws.trans32[w] = t
+	return t
+}
+
+// Vec32 returns the cached f32 conversion of a frozen parameter
+// vector (biases, and the direct convolution's flat kernel).
+func (ws *Workspace) Vec32(v *tensor.Tensor) []float32 {
+	if c, ok := ws.vecs32[v]; ok {
+		return c
+	}
+	c := make([]float32, len(v.Data))
+	for i, x := range v.Data {
+		c[i] = float32(x)
+	}
+	ws.vecs32[v] = c
+	return c
+}
+
+// folded32 returns the cached folded normalization of b, keyed by the
+// frozen gamma tensor.
+func (ws *Workspace) folded32(b *BatchNorm) *bnFold32 {
+	if f, ok := ws.bn32[b.Gamma.Value]; ok {
+		return f
+	}
+	f := &bnFold32{scale: make([]float32, b.F), shift: make([]float32, b.F)}
+	for j := 0; j < b.F; j++ {
+		s := b.Gamma.Value.Data[j] / math.Sqrt(b.RunVar[j]+b.Eps)
+		f.scale[j] = float32(s)
+		f.shift[j] = float32(b.Beta.Value.Data[j] - b.RunMean[j]*s)
+	}
+	ws.bn32[b.Gamma.Value] = f
+	return f
+}
+
+// InferLayer32 is the float32 counterpart of InferLayer.
+type InferLayer32 interface {
+	ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32
+}
+
+// ForwardInfer32 implements InferLayer32. Unlike the f64 chain there
+// is no allocating fallback — every inference layer implements the
+// f32 contract, and a layer that does not is a programming error.
+func (s *Sequential) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 {
+	for _, l := range s.Layers {
+		il, ok := l.(InferLayer32)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %T has no float32 inference path", l))
+		}
+		x = il.ForwardInfer32(x, ws)
+	}
+	return x
+}
+
+// ForwardInfer32 implements InferLayer32: y = x·Wᵀ + b via the f32
+// panel kernel against the workspace-cached packing of Wᵀ.
+func (d *Dense) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: Dense expects [N, %d] input, got %v", d.In, x.Shape))
+	}
+	n := x.Dim(0)
+	y := ws.Arena32.GetUninit(n, d.Out)
+	pb := ws.Packed32Transposed(d.W.Value, d.Out, d.In)
+	tensor.MatMulPacked32Into(y, x, pb)
+	b := ws.Vec32(d.B.Value)
+	for i := 0; i < n; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+	return y
+}
+
+// ForwardInfer32 implements InferLayer32.
+func (a *Activation) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 {
+	out := ws.Arena32.GetUninit(x.Shape...)
+	switch a.Kind {
+	case ActReLU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
+			}
+		}
+	case ActLReLU:
+		slope := float32(a.Slope)
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = slope * v
+			}
+		}
+	case ActSELU:
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = float32(seluLambda) * v
+			} else {
+				// The exponential runs in f64 (stdlib has no float32
+				// exp); the result narrows like every other op.
+				out.Data[i] = float32(seluLambda * seluAlpha * (math.Exp(float64(v)) - 1))
+			}
+		}
+	default:
+		panic("nn: unknown activation " + a.Kind)
+	}
+	return out
+}
+
+// ForwardInfer32 implements InferLayer32: inference dropout is the
+// identity.
+func (d *Dropout) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 { return x }
+
+// ForwardInfer32 implements InferLayer32: a pooled view.
+func (f *Flatten) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 {
+	n := x.Dim(0)
+	return ws.Arena32.View(x.Data, n, x.Len()/n)
+}
+
+// ForwardInfer32 implements InferLayer32: evaluation-mode
+// normalization via the cached folded scale/shift (one multiply-add
+// per element; algebraically identical to the f64 form, differing
+// only in rounding).
+func (b *BatchNorm) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 {
+	if x.Rank() != 2 || x.Dim(1) != b.F {
+		panic("nn: BatchNorm expects [N, F] input matching layer width")
+	}
+	n := x.Dim(0)
+	f := ws.folded32(b)
+	out := ws.Arena32.GetUninit(x.Shape...)
+	for i := 0; i < n; i++ {
+		xr, or := x.Row(i), out.Row(i)
+		for j := 0; j < b.F; j++ {
+			or[j] = f.scale[j]*xr[j] + f.shift[j]
+		}
+	}
+	return out
+}
+
+// ForwardInfer32 implements InferLayer32: the same window argmax
+// loops as the f64 path.
+func (m *MaxPool3D) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 {
+	n, c, d, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := m.K
+	if d%k != 0 || h%k != 0 || w%k != 0 {
+		panic("nn: MaxPool3D window does not divide grid")
+	}
+	od, oh, ow := d/k, h/k, w/k
+	out := ws.Arena32.GetUninit(n, c, od, oh, ow)
+	perChan := od * oh * ow
+	for nc := 0; nc < n*c; nc++ {
+		ni, ci := nc/c, nc%c
+		oi := nc * perChan
+		for zd := 0; zd < od; zd++ {
+			for zh := 0; zh < oh; zh++ {
+				for zw := 0; zw < ow; zw++ {
+					var bestV float32
+					first := true
+					for kd := 0; kd < k; kd++ {
+						for kh := 0; kh < k; kh++ {
+							for kw := 0; kw < k; kw++ {
+								fi := ((((ni*c+ci)*d+zd*k+kd)*h + zh*k + kh) * w) + zw*k + kw
+								if first || x.Data[fi] > bestV {
+									bestV = x.Data[fi]
+									first = false
+								}
+							}
+						}
+					}
+					out.Data[oi] = bestV
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ForwardInfer32 implements InferLayer32 for the convolution. The
+// algorithm selection is deliberately byte-identical to ForwardInfer —
+// including the 8-bytes-per-element scatter threshold — so a given
+// layer shape runs the same algorithm at both precisions and the f32
+// path differs from the reference only in rounding, never in code
+// shape.
+func (c *Conv3D) ForwardInfer32(x *tensor.F32, ws *Workspace) *tensor.F32 {
+	if x.Rank() != 5 || x.Dim(1) != c.In {
+		panic(fmt.Sprintf("nn: Conv3D expects [N,%d,D,H,W], got %v", c.In, x.Shape))
+	}
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := c.K
+	dhw := d * h * w
+	ck3 := c.In * k * k * k
+	out := ws.Arena32.GetUninit(n, c.Out, d, h, w)
+	if c.Direct {
+		c.directInto32(x, out, ws)
+		return out
+	}
+	if c.Out*dhw*8 <= scatterMaxBytes {
+		c.scatterInfer32(x, out, ws.Transposed32(c.W.Value, c.Out, ck3), ws)
+		return out
+	}
+	// Tile path: sparse im2col patches, zero-skip scalar GEMM against
+	// the cached f32 kernel transpose (see ForwardInfer for why the
+	// panel kernel loses here).
+	wt := ws.Transposed32(c.W.Value, c.Out, ck3)
+	bias := ws.Vec32(c.B.Value)
+	tile := dhw
+	if tile > convTile {
+		tile = convTile
+	}
+	for b := 0; b < n; b++ {
+		for lo := 0; lo < dhw; lo += tile {
+			hi := lo + tile
+			if hi > dhw {
+				hi = dhw
+			}
+			rows := hi - lo
+			ct := ws.Arena32.GetUninit(rows, ck3) // Im2Col3D32 zeroes it
+			yt := ws.Arena32.GetUninit(rows, c.Out)
+			tensor.Im2Col3D32(x, b, k, lo, hi, ct)
+			for r := 0; r < rows; r++ {
+				copy(yt.Data[r*c.Out:(r+1)*c.Out], bias)
+			}
+			tensor.MatMulAcc32(yt, ct, wt)
+			for o := 0; o < c.Out; o++ {
+				dst := out.Data[(b*c.Out+o)*dhw+lo : (b*c.Out+o)*dhw+hi]
+				for r := range dst {
+					dst[r] = yt.Data[r*c.Out+o]
+				}
+			}
+			ws.Arena32.Put(yt)
+			ws.Arena32.Put(ct)
+		}
+	}
+	return out
+}
+
+// scatterInfer32 is the f32 pooled sparse-scatter forward, mirroring
+// scatterInfer: position-major [DHW, Out] accumulator, hoisted
+// grid-boundary clipping, final transpose into the [Out, D, H, W]
+// output block. The channel accumulation runs through tensor.Axpy32 —
+// the lanes are independent accumulators, so the vector kernel is
+// bit-identical to the reference scalar order.
+func (c *Conv3D) scatterInfer32(x, out, wt *tensor.F32, ws *Workspace) {
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	k := c.K
+	pad := k / 2
+	dhw := d * h * w
+	hw := h * w
+	nOut := c.Out
+	bias := ws.Vec32(c.B.Value)
+	posBuf := ws.Arena32.GetUninit(dhw, nOut)
+	pd := posBuf.Data
+	wd := wt.Data
+	for b := 0; b < n; b++ {
+		for pos := 0; pos < dhw; pos++ {
+			copy(pd[pos*nOut:(pos+1)*nOut], bias)
+		}
+		for ci := 0; ci < c.In; ci++ {
+			chBase := (b*c.In + ci) * dhw
+			for ip, v := range x.Data[chBase : chBase+dhw] {
+				if v == 0 {
+					continue
+				}
+				id, rem := ip/hw, ip%hw
+				ih, iw := rem/w, rem%w
+				kdLo, kdHi := clipK(id, pad, d, k)
+				khLo, khHi := clipK(ih, pad, h, k)
+				kwLo, kwHi := clipK(iw, pad, w, k)
+				for kd := kdLo; kd <= kdHi; kd++ {
+					zd := id + pad - kd
+					for kh := khLo; kh <= khHi; kh++ {
+						zh := ih + pad - kh
+						wBase := ((ci*k+kd)*k + kh) * k
+						posRow := (zd*h + zh) * w
+						wOff := (wBase + kwLo) * nOut
+						pOff := (posRow + iw + pad - kwLo) * nOut
+						for kw := kwLo; kw <= kwHi; kw++ {
+							tensor.Axpy32(pd[pOff:pOff+nOut:pOff+nOut], wd[wOff:wOff+nOut], v)
+							wOff += nOut
+							pOff -= nOut
+						}
+					}
+				}
+			}
+		}
+		outS := out.Data[b*nOut*dhw : (b+1)*nOut*dhw]
+		for pos := 0; pos < dhw; pos++ {
+			row := pd[pos*nOut : (pos+1)*nOut]
+			for o, v := range row {
+				outS[o*dhw+pos] = v
+			}
+		}
+	}
+	ws.Arena32.Put(posBuf)
+}
+
+// directInto32 is the serial reference convolution over f32 operands,
+// reading the cached f32 conversion of the flat kernel tensor.
+func (c *Conv3D) directInto32(x, out *tensor.F32, ws *Workspace) {
+	n, d, h, w := x.Dim(0), x.Dim(2), x.Dim(3), x.Dim(4)
+	pad := c.K / 2
+	k := c.K
+	dhw := d * h * w
+	wf := ws.Vec32(c.W.Value)
+	bias := ws.Vec32(c.B.Value)
+	for ni := 0; ni < n; ni++ {
+		for co := 0; co < c.Out; co++ {
+			b := bias[co]
+			oBase := (ni*c.Out + co) * dhw
+			for zd := 0; zd < d; zd++ {
+				for zh := 0; zh < h; zh++ {
+					for zw := 0; zw < w; zw++ {
+						s := b
+						for ci := 0; ci < c.In; ci++ {
+							for kd := 0; kd < k; kd++ {
+								id := zd + kd - pad
+								if id < 0 || id >= d {
+									continue
+								}
+								for kh := 0; kh < k; kh++ {
+									ih := zh + kh - pad
+									if ih < 0 || ih >= h {
+										continue
+									}
+									xBase := ((ni*c.In+ci)*d+id)*h + ih
+									wBase := (((co*c.In+ci)*k+kd)*k + kh) * k
+									xRow := x.Data[xBase*w : xBase*w+w]
+									wRow := wf[wBase : wBase+k]
+									for kw := 0; kw < k; kw++ {
+										iw := zw + kw - pad
+										if iw < 0 || iw >= w {
+											continue
+										}
+										s += xRow[iw] * wRow[kw]
+									}
+								}
+							}
+						}
+						out.Data[oBase+(zd*h+zh)*w+zw] = s
+					}
+				}
+			}
+		}
+	}
+}

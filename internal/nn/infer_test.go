@@ -47,8 +47,8 @@ func TestForwardInferMatchesForward(t *testing.T) {
 	}
 	// Conv3D, tiled im2col path (output above scatterMaxBytes).
 	{
-		c := NewConv3D(rng, 2, 5, 3)
-		x := inferInput(rng, 1, 2, 20, 20, 20) // 5*8000*8 > scatterMaxBytes
+		c := NewConv3D(rng, 1, 64, 3)
+		x := inferInput(rng, 1, 1, 41, 41, 41) // 64*41^3*8 > scatterMaxBytes
 		if c.Out*x.Dim(2)*x.Dim(3)*x.Dim(4)*8 <= scatterMaxBytes {
 			t.Fatalf("test geometry no longer reaches the tiled path")
 		}

@@ -36,19 +36,53 @@ func allocTestSamples(t testing.TB, f *fusion.Fusion, n int) []*fusion.Sample {
 // tentpole: the steady-state scoring step of a rank — a full batch
 // through the production-config Coherent Fusion scorer via the
 // ScorerInto handshake, exactly what runRanks' flush does — performs
-// zero heap allocations once the rank's workspace is warm.
+// zero heap allocations once the rank's workspace is warm. The pin
+// covers both engine precisions: the f32 fast path must hold the same
+// zero-allocation bar as the f64 reference.
 func TestWarmRankLoopZeroAlloc(t *testing.T) {
-	f := allocTestScorer(61)
-	samples := allocTestSamples(t, f, 8)
-	ws := fusion.NewWorkspace()
-	out := make([]float64, len(samples))
-	var s ScorerInto = f
-	loop := func() { s.ScoreBatchInto(samples, ws, out) }
-	for i := 0; i < 3; i++ {
-		loop() // warm the workspace pools and packed-weight caches
+	for _, p := range []Precision{PrecisionF64, PrecisionF32} {
+		t.Run(string(p), func(t *testing.T) {
+			f := allocTestScorer(61)
+			samples := allocTestSamples(t, f, 8)
+			ws := fusion.NewWorkspaceFor(p)
+			out := make([]float64, len(samples))
+			var s ScorerInto = f
+			loop := func() { s.ScoreBatchInto(samples, ws, out) }
+			for i := 0; i < 3; i++ {
+				loop() // warm the workspace pools and packed-weight caches
+			}
+			if avg := testing.AllocsPerRun(50, loop); avg != 0 {
+				t.Fatalf("warm rank scoring loop allocates %.1f times per batch, want 0", avg)
+			}
+		})
 	}
-	if avg := testing.AllocsPerRun(50, loop); avg != 0 {
-		t.Fatalf("warm rank scoring loop allocates %.1f times per batch, want 0", avg)
+}
+
+// TestSteadyStatePrefeatureReuse pins the fix for the BENCH_5
+// steady-state regression: jobs that do not inject a prefeature made
+// the engine rebuild the target-invariant cache (~500 allocations,
+// ~300 KB) on every RunJob call. The regressed configuration — the
+// default job options, nil Prefeature — must now reuse the previous
+// job's prefeature: same pointer, zero allocations once warm.
+func TestSteadyStatePrefeatureReuse(t *testing.T) {
+	vo := featurize.DefaultVoxelOptions()
+	gro := featurize.DefaultGraphOptions()
+	a := cachedPrefeature(target.Protease1, vo, gro)
+	b := cachedPrefeature(target.Protease1, vo, gro)
+	if a != b {
+		t.Fatal("consecutive same-target jobs rebuilt the prefeature")
+	}
+	if avg := testing.AllocsPerRun(10, func() { cachedPrefeature(target.Protease1, vo, gro) }); avg != 0 {
+		t.Fatalf("warm prefeature lookup allocates %.1f times per job, want 0", avg)
+	}
+	// A different target (or options) must rebuild, then re-steady.
+	po := featurize.PaperVoxelOptions()
+	c := cachedPrefeature(target.Protease1, po, gro)
+	if c == a {
+		t.Fatal("option change did not rebuild the prefeature")
+	}
+	if d := cachedPrefeature(target.Protease1, po, gro); d != c {
+		t.Fatal("second job after option change rebuilt the prefeature again")
 	}
 }
 

@@ -48,7 +48,7 @@ func benchPoses(b *testing.B, n int) []Pose {
 	return poses
 }
 
-func runJobBench(b *testing.B, batchSize int, direct bool) {
+func runJobBench(b *testing.B, batchSize int, direct bool, precision Precision) {
 	b.ReportAllocs()
 	f := benchFusion(b)
 	f.CNN.SetDirectConv(direct)
@@ -57,6 +57,7 @@ func runJobBench(b *testing.B, batchSize int, direct bool) {
 	o.Ranks = 2
 	o.LoadersPerRank = 2
 	o.BatchSize = batchSize
+	o.Precision = precision
 	var scored int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -72,15 +73,19 @@ func runJobBench(b *testing.B, batchSize int, direct bool) {
 
 // BenchmarkRunJobPerSample is the seed baseline: one pose per
 // inference call, direct convolution loops.
-func BenchmarkRunJobPerSample(b *testing.B) { runJobBench(b, 1, true) }
+func BenchmarkRunJobPerSample(b *testing.B) { runJobBench(b, 1, true, PrecisionF64) }
 
 // BenchmarkRunJobBatchSize1 isolates the batch-dimension win: the
 // lowered engine still scoring one pose at a time.
-func BenchmarkRunJobBatchSize1(b *testing.B) { runJobBench(b, 1, false) }
+func BenchmarkRunJobBatchSize1(b *testing.B) { runJobBench(b, 1, false, PrecisionF64) }
 
 // BenchmarkRunJobBatched is the production path: BatchSize 8 on the
-// lowered batched engine.
-func BenchmarkRunJobBatched(b *testing.B) { runJobBench(b, 8, false) }
+// lowered batched engine, f64 reference arithmetic.
+func BenchmarkRunJobBatched(b *testing.B) { runJobBench(b, 8, false, PrecisionF64) }
+
+// BenchmarkRunJobBatchedF32 is the production path on the f32 fast
+// path — the engine-level memory-traffic win of the precision knob.
+func BenchmarkRunJobBatchedF32(b *testing.B) { runJobBench(b, 8, false, PrecisionF32) }
 
 // BenchmarkRunJobBatched56 is the paper's per-GPU maximum batch.
 func BenchmarkRunJobBatched56(b *testing.B) {

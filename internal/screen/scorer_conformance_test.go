@@ -79,65 +79,125 @@ func TestScorerConformance(t *testing.T) {
 	for wantName, s := range conformanceScorers(t) {
 		s := s
 		t.Run(wantName, func(t *testing.T) {
-			// Name stability: non-empty, the expected constant, and
-			// identical on every call.
-			if s.Name() == "" {
-				t.Fatal("empty scorer name")
-			}
-			if got := s.Name(); got != wantName {
-				t.Fatalf("Name() = %q, want %q", got, wantName)
-			}
-			if s.Name() != s.Name() {
-				t.Fatal("Name() is not stable across calls")
-			}
-
-			// One score per sample.
-			batch := s.ScoreBatch(samples)
-			if len(batch) != len(samples) {
-				t.Fatalf("ScoreBatch returned %d scores for %d samples", len(batch), len(samples))
-			}
-			for i, v := range batch {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					t.Fatalf("sample %d scored %v", i, v)
-				}
-			}
-
-			// Determinism: a second call reproduces the first exactly.
-			again := s.ScoreBatch(samples)
-			for i := range batch {
-				if batch[i] != again[i] {
-					t.Fatalf("sample %d: %v then %v — scorer is not deterministic", i, batch[i], again[i])
-				}
-			}
-
-			// Batch == per-sample: composition must not change a score.
-			for i, smp := range samples {
-				solo := s.ScoreBatch([]*fusion.Sample{smp})
-				if len(solo) != 1 {
-					t.Fatalf("singleton batch returned %d scores", len(solo))
-				}
-				if math.Abs(solo[0]-batch[i]) > 1e-9 {
-					t.Fatalf("sample %d: batch %v != per-sample %v", i, batch[i], solo[0])
-				}
-			}
-
-			// Replica equivalence for the Cloner handshake.
-			if c, ok := s.(Cloner); ok {
-				replica, ok := c.CloneScorer().(Scorer)
-				if !ok {
-					t.Fatal("CloneScorer did not return a Scorer")
-				}
-				if replica.Name() != s.Name() {
-					t.Fatalf("replica renamed itself: %q vs %q", replica.Name(), s.Name())
-				}
-				rep := replica.ScoreBatch(samples)
-				for i := range batch {
-					if rep[i] != batch[i] {
-						t.Fatalf("sample %d: replica %v != original %v", i, rep[i], batch[i])
-					}
-				}
-			}
+			runScorerConformance(t, wantName, s, samples)
 		})
+	}
+}
+
+// TestScorerConformanceF32 reruns the whole conformance suite with
+// every scorer operating in f32 mode: the fast path is a precision
+// choice, not a different contract, so the same invariants — name
+// stability, determinism, batch composition independence, replica
+// equivalence — must hold verbatim. Scorers without a pooled f32 path
+// (the physics surrogates) pass through and stay precision-blind.
+func TestScorerConformanceF32(t *testing.T) {
+	samples := conformanceSamples(t, 5)
+	for wantName, s := range conformanceScorers(t) {
+		s := s
+		t.Run(wantName, func(t *testing.T) {
+			runScorerConformance(t, wantName, inF32Mode(s), samples)
+		})
+	}
+}
+
+// f32Mode adapts a scorer to score through an f32 workspace: exactly
+// what a rank does when the job's Precision knob is "f32".
+type f32Mode struct {
+	inner Scorer
+	ws    *fusion.Workspace
+}
+
+func inF32Mode(s Scorer) Scorer {
+	return &f32Mode{inner: s, ws: fusion.NewWorkspaceFor(fusion.PrecisionF32)}
+}
+
+func (m *f32Mode) Name() string { return m.inner.Name() }
+
+func (m *f32Mode) ScoreBatch(samples []*fusion.Sample) []float64 {
+	into, ok := m.inner.(ScorerInto)
+	if !ok {
+		return m.inner.ScoreBatch(samples)
+	}
+	out := make([]float64, len(samples))
+	into.ScoreBatchInto(samples, m.ws, out)
+	return out
+}
+
+func (m *f32Mode) CloneScorer() any {
+	if c, ok := m.inner.(Cloner); ok {
+		return inF32Mode(c.CloneScorer().(Scorer))
+	}
+	return inF32Mode(m.inner)
+}
+
+func (m *f32Mode) FeatureOptions() FeatureOptions {
+	if f, ok := m.inner.(Featurizer); ok {
+		return f.FeatureOptions()
+	}
+	return FeatureOptions{}
+}
+
+// runScorerConformance is the suite body, shared by the f64 and f32
+// conformance runs.
+func runScorerConformance(t *testing.T, wantName string, s Scorer, samples []*fusion.Sample) {
+	t.Helper()
+	// Name stability: non-empty, the expected constant, and identical
+	// on every call.
+	if s.Name() == "" {
+		t.Fatal("empty scorer name")
+	}
+	if got := s.Name(); got != wantName {
+		t.Fatalf("Name() = %q, want %q", got, wantName)
+	}
+	if s.Name() != s.Name() {
+		t.Fatal("Name() is not stable across calls")
+	}
+
+	// One score per sample.
+	batch := s.ScoreBatch(samples)
+	if len(batch) != len(samples) {
+		t.Fatalf("ScoreBatch returned %d scores for %d samples", len(batch), len(samples))
+	}
+	for i, v := range batch {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("sample %d scored %v", i, v)
+		}
+	}
+
+	// Determinism: a second call reproduces the first exactly.
+	again := s.ScoreBatch(samples)
+	for i := range batch {
+		if batch[i] != again[i] {
+			t.Fatalf("sample %d: %v then %v — scorer is not deterministic", i, batch[i], again[i])
+		}
+	}
+
+	// Batch == per-sample: composition must not change a score.
+	for i, smp := range samples {
+		solo := s.ScoreBatch([]*fusion.Sample{smp})
+		if len(solo) != 1 {
+			t.Fatalf("singleton batch returned %d scores", len(solo))
+		}
+		if math.Abs(solo[0]-batch[i]) > 1e-9 {
+			t.Fatalf("sample %d: batch %v != per-sample %v", i, batch[i], solo[0])
+		}
+	}
+
+	// Replica equivalence for the Cloner handshake.
+	if c, ok := s.(Cloner); ok {
+		replica, ok := c.CloneScorer().(Scorer)
+		if !ok {
+			t.Fatal("CloneScorer did not return a Scorer")
+		}
+		if replica.Name() != s.Name() {
+			t.Fatalf("replica renamed itself: %q vs %q", replica.Name(), s.Name())
+		}
+		rep := replica.ScoreBatch(samples)
+		for i := range batch {
+			if rep[i] != batch[i] {
+				t.Fatalf("sample %d: replica %v != original %v", i, rep[i], batch[i])
+			}
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"deepfusion/internal/chem"
 	"deepfusion/internal/dock"
@@ -91,12 +92,31 @@ type JobOptions struct {
 	// (the pre-cache path) — an A/B escape hatch for benchmarks and
 	// byte-identity tests, not a production knob.
 	DisablePrefeature bool `json:"-"`
+	// Precision selects the numeric width of the inference engine:
+	// PrecisionF64 (or empty — the zero value and every pre-PR6
+	// serialized job) runs the verified float64 reference path;
+	// PrecisionF32 runs the float32 fast path, whose rank fidelity
+	// against the reference is pinned by the A/B harness. Serialized
+	// into campaign manifests via the json tag, so a resumed campaign
+	// can refuse a precision mismatch.
+	Precision Precision `json:"precision,omitempty"`
 	// FailureProb injects the paper's observed job failures (bad
 	// metadata, node failure, broken pipes). A failed job returns
 	// ErrJobFailed and must be resubmitted by the caller.
 	FailureProb float64
 	Seed        int64
 }
+
+// Precision re-exports the funnel-wide precision knob (see
+// fusion.Precision) at the engine boundary.
+type Precision = fusion.Precision
+
+// The two engine precisions: the float64 verified reference and the
+// float32 fast path.
+const (
+	PrecisionF64 = fusion.PrecisionF64
+	PrecisionF32 = fusion.PrecisionF32
+)
 
 // DefaultJobOptions mirrors the production 4-node job at repro scale.
 func DefaultJobOptions() JobOptions {
@@ -112,6 +132,30 @@ func DefaultJobOptions() JobOptions {
 
 // ErrJobFailed marks an injected job failure.
 var ErrJobFailed = fmt.Errorf("screen: job failed (injected fault)")
+
+// prefeatureCache holds the engine's most recently self-built
+// target-invariant prefeature. Callers that screen one target across
+// many jobs without injecting JobOptions.Prefeature — retry loops,
+// benchmark iterations, ad-hoc RunJob callers — used to pay the full
+// prefeature construction (pocket voxel baseline, node rows, cell
+// list: ~500 allocations and ~300 KB) on every job, which is exactly
+// the steady-state allocation regression BENCH_5 recorded. A
+// prefeature is immutable after construction and already read
+// concurrently by every loader, so one cached slot (the common
+// same-target-again case) is safe; a concurrent miss at worst builds
+// twice and keeps one.
+var prefeatureCache atomic.Pointer[featurize.PocketPrefeature]
+
+// cachedPrefeature returns a prefeature for the job's (target,
+// options), reusing the previous job's when it matches.
+func cachedPrefeature(p *target.Pocket, vo featurize.VoxelOptions, gro featurize.GraphOptions) *featurize.PocketPrefeature {
+	if pre := prefeatureCache.Load(); pre != nil && pre.Matches(p, vo, gro) {
+		return pre
+	}
+	pre := featurize.NewPocketPrefeature(p, vo, gro)
+	prefeatureCache.Store(pre)
+	return pre
+}
 
 // injectFailure rolls the job-failure dice shared by the gathered and
 // streaming paths (bad metadata, node failure, broken pipes — the
@@ -174,7 +218,7 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 			}
 			pre = o.Prefeature
 		} else {
-			pre = featurize.NewPocketPrefeature(p, vo, gro)
+			pre = cachedPrefeature(p, vo, gro)
 		}
 	}
 	bs := o.BatchSize
@@ -204,7 +248,7 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 			var ws *fusion.Workspace
 			for _, r := range replicas {
 				if _, ok := r.(ScorerInto); ok {
-					ws = fusion.NewWorkspace()
+					ws = fusion.NewWorkspaceFor(o.Precision)
 					break
 				}
 			}
@@ -369,6 +413,9 @@ func checkJob(scorers []Scorer, o JobOptions) error {
 	}
 	if o.Ranks < 1 {
 		return fmt.Errorf("screen: need at least 1 rank")
+	}
+	if err := o.Precision.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

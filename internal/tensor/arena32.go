@@ -1,0 +1,108 @@
+package tensor
+
+// Arena32 is the float32 counterpart of Arena: a size-classed pool of
+// F32 tensors recycled between inference batches, with pooled view
+// headers so reshapes of pooled data stay off the heap. The f32
+// inference workspace owns one per rank alongside the f64 arena; the
+// same warm-loop zero-allocation contract applies (tensors are valid
+// until the next Reset, no concurrent use).
+type Arena32 struct {
+	free  [65][]*F32 // by ceil-log2 of element count
+	used  []*F32
+	vfree []*F32 // pooled view headers (no owned data)
+	vused []*F32
+}
+
+// NewArena32 returns an empty arena.
+func NewArena32() *Arena32 { return &Arena32{} }
+
+// GetUninit returns an F32 of the given shape whose contents are
+// arbitrary (possibly stale data from a previous cycle). Use it for
+// outputs every element of which is overwritten; use Get when the
+// kernel accumulates into the buffer.
+func (a *Arena32) GetUninit(shape ...int) *F32 {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: Arena32.Get negative dimension")
+		}
+		n *= d
+	}
+	cls := sizeClass(n)
+	var t *F32
+	if l := a.free[cls]; len(l) > 0 {
+		t = l[len(l)-1]
+		a.free[cls] = l[:len(l)-1]
+		t.Data = t.Data[:n]
+		t.Shape = append(t.Shape[:0], shape...)
+	} else {
+		// Fresh buffers are allocated at full class capacity so any
+		// later request of the class reuses them.
+		data := make([]float32, 1<<cls)
+		t = &F32{Shape: append([]int(nil), shape...), Data: data[:n]}
+	}
+	a.used = append(a.used, t)
+	return t
+}
+
+// Get returns a zero-filled F32 of the given shape, recycled from the
+// pool when possible.
+func (a *Arena32) Get(shape ...int) *F32 {
+	t := a.GetUninit(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// View returns a pooled F32 header over data with the given shape (no
+// copy, no owned buffer). Like Get results, the header is valid until
+// Reset.
+func (a *Arena32) View(data []float32, shape ...int) *F32 {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic("tensor: Arena32.View shape/data length mismatch")
+	}
+	var t *F32
+	if l := a.vfree; len(l) > 0 {
+		t = l[len(l)-1]
+		a.vfree = l[:len(l)-1]
+		t.Shape = append(t.Shape[:0], shape...)
+	} else {
+		t = &F32{Shape: append([]int(nil), shape...)}
+	}
+	t.Data = data
+	a.vused = append(a.vused, t)
+	return t
+}
+
+// Put returns t — which must have come from Get/GetUninit on this
+// arena — to its free list before the end of the cycle.
+func (a *Arena32) Put(t *F32) {
+	for i := len(a.used) - 1; i >= 0; i-- {
+		if a.used[i] == t {
+			a.used[i] = a.used[len(a.used)-1]
+			a.used = a.used[:len(a.used)-1]
+			a.free[sizeClass(cap(t.Data))] = append(a.free[sizeClass(cap(t.Data))], t)
+			return
+		}
+	}
+	panic("tensor: Arena32.Put of a tensor not handed out this cycle")
+}
+
+// Reset recycles every tensor and view handed out since the previous
+// Reset. Buffers stay owned by the arena; only the bookkeeping rewinds.
+func (a *Arena32) Reset() {
+	for _, t := range a.used {
+		a.free[sizeClass(cap(t.Data))] = append(a.free[sizeClass(cap(t.Data))], t)
+	}
+	a.used = a.used[:0]
+	for _, t := range a.vused {
+		t.Data = nil
+		a.vfree = append(a.vfree, t)
+	}
+	a.vused = a.vused[:0]
+}

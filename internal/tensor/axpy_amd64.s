@@ -1,0 +1,114 @@
+// 4-wide SSE f32 AXPY: dst[i] += v * w[i]. See axpy_amd64.go for the
+// bit-identity argument (independent lanes, one MULPS + one ADDPS
+// rounding per element — the same two roundings as the scalar loop).
+// SSE MOVUPS/MULPS/ADDPS are baseline amd64; buffers need no
+// alignment.
+
+#include "textflag.h"
+
+// func Axpy32(dst, w []float32, v float32)
+TEXT ·Axpy32(SB), NOSPLIT, $0-52
+	MOVQ	dst_base+0(FP), DI
+	MOVQ	dst_len+8(FP), CX
+	MOVQ	w_base+24(FP), SI
+	MOVSS	v+48(FP), X0
+	SHUFPS	$0x00, X0, X0
+	XORQ	AX, AX
+	MOVQ	CX, DX
+	ANDQ	$-8, DX
+	JZ	tail
+blk8:
+	MOVUPS	(SI)(AX*4), X1
+	MOVUPS	16(SI)(AX*4), X2
+	MULPS	X0, X1
+	MULPS	X0, X2
+	MOVUPS	(DI)(AX*4), X3
+	MOVUPS	16(DI)(AX*4), X4
+	ADDPS	X1, X3
+	ADDPS	X2, X4
+	MOVUPS	X3, (DI)(AX*4)
+	MOVUPS	X4, 16(DI)(AX*4)
+	ADDQ	$8, AX
+	CMPQ	AX, DX
+	JL	blk8
+tail:
+	CMPQ	AX, CX
+	JGE	done
+tail1:
+	MOVSS	(SI)(AX*4), X1
+	MULSS	X0, X1
+	MOVSS	(DI)(AX*4), X2
+	ADDSS	X1, X2
+	MOVSS	X2, (DI)(AX*4)
+	INCQ	AX
+	CMPQ	AX, CX
+	JL	tail1
+done:
+	RET
+
+// func packedAccSkip32(ci, ai, panel []float32)
+// ci[0:8] += sum over p of ai[p]*panel[p*8:p*8+8], zero ai skipped.
+// The UCOMISS/JP/JE pair skips only true zeros: a NaN multiplier sets
+// PF and falls through to the multiply, matching the Go loop's
+// av == 0 test.
+TEXT ·packedAccSkip32(SB), NOSPLIT, $0-72
+	MOVQ	ci_base+0(FP), DI
+	MOVQ	ai_base+24(FP), SI
+	MOVQ	ai_len+32(FP), CX
+	MOVQ	panel_base+48(FP), BX
+	MOVUPS	(DI), X0
+	MOVUPS	16(DI), X1
+	XORPS	X7, X7
+	TESTQ	CX, CX
+	JZ	accdone
+accloop:
+	MOVSS	(SI), X2
+	UCOMISS	X7, X2
+	JP	accwork
+	JE	accnext
+accwork:
+	SHUFPS	$0x00, X2, X2
+	MOVUPS	(BX), X3
+	MOVUPS	16(BX), X4
+	MULPS	X2, X3
+	MULPS	X2, X4
+	ADDPS	X3, X0
+	ADDPS	X4, X1
+accnext:
+	ADDQ	$4, SI
+	ADDQ	$32, BX
+	DECQ	CX
+	JNZ	accloop
+accdone:
+	MOVUPS	X0, (DI)
+	MOVUPS	X1, 16(DI)
+	RET
+
+// func packedInto32(ci, ai, panel []float32)
+// ci[0:8] = sum over p of ai[p]*panel[p*8:p*8+8], dense (no skip).
+TEXT ·packedInto32(SB), NOSPLIT, $0-72
+	MOVQ	ci_base+0(FP), DI
+	MOVQ	ai_base+24(FP), SI
+	MOVQ	ai_len+32(FP), CX
+	MOVQ	panel_base+48(FP), BX
+	XORPS	X0, X0
+	XORPS	X1, X1
+	TESTQ	CX, CX
+	JZ	intodone
+intoloop:
+	MOVSS	(SI), X2
+	SHUFPS	$0x00, X2, X2
+	MOVUPS	(BX), X3
+	MOVUPS	16(BX), X4
+	MULPS	X2, X3
+	MULPS	X2, X4
+	ADDPS	X3, X0
+	ADDPS	X4, X1
+	ADDQ	$4, SI
+	ADDQ	$32, BX
+	DECQ	CX
+	JNZ	intoloop
+intodone:
+	MOVUPS	X0, (DI)
+	MOVUPS	X1, 16(DI)
+	RET

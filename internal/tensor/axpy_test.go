@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// axpy32Scalar is the reference semantics of Axpy32: one multiply
+// rounding and one add rounding per element, ascending order.
+func axpy32Scalar(dst, w []float32, v float32) {
+	for i := range dst {
+		dst[i] += v * w[i]
+	}
+}
+
+// TestAxpy32MatchesScalarBitwise pins the vector kernel bit-identical
+// to the scalar loop across every tail length the 8-lane block loop
+// can leave behind, including zero-length and subnormal-producing
+// inputs.
+func TestAxpy32MatchesScalarBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for n := 0; n <= 35; n++ {
+		dst := make([]float32, n)
+		w := make([]float32, n)
+		for i := range dst {
+			dst[i] = float32(rng.NormFloat64())
+			w[i] = float32(rng.NormFloat64())
+		}
+		v := float32(rng.NormFloat64())
+		want := append([]float32(nil), dst...)
+		axpy32Scalar(want, w, v)
+		Axpy32(dst, w, v)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: Axpy32 diverged from scalar at %d: %v != %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+	// Tiny v times tiny w drives lanes subnormal; the vector unit must
+	// round them identically.
+	dst := []float32{1e-38, -1e-38, 0, 1e-38, -1, 2, -3, 4, 5e-40}
+	w := []float32{1e-38, 2e-38, 3e-38, -1e-38, 1e-38, 1, 2, 3, 4}
+	want := append([]float32(nil), dst...)
+	axpy32Scalar(want, w, 1e-5)
+	Axpy32(dst, w, 1e-5)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("subnormal lane %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+}
+
+// TestAxpy32LongerW pins the contract that w may be longer than dst:
+// only len(dst) elements are touched.
+func TestAxpy32LongerW(t *testing.T) {
+	dst := []float32{1, 2, 3}
+	w := []float32{10, 20, 30, 40, 50}
+	Axpy32(dst, w, 2)
+	for i, want := range []float32{21, 42, 63} {
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}

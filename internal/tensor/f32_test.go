@@ -1,0 +1,237 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMatMul32 is the naive float32 i-j-k reference (ascending-k
+// accumulation, matching the kernels' term order).
+func refMatMul32(a, b *F32, seed float32) *F32 {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	c := NewF32(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := seed
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randF32(rng *rand.Rand, shape ...int) *F32 {
+	t := NewF32(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+		if rng.Intn(4) == 0 { // exercise the zero-skip branch
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// TestMatMulPacked32RaggedTails sweeps M, N, K through values that are
+// not multiples of the panel width (including the 4-lane tail block
+// and the scalar lanes) and pins the packed kernel to the naive f32
+// reference exactly — same term order, so bitwise equality is required.
+func TestMatMulPacked32RaggedTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, m := range []int{1, 3, 8, 13} {
+		for _, n := range []int{1, 2, 4, 5, 7, 8, 9, 12, 15, 16, 17} {
+			for _, k := range []int{1, 3, 8, 11} {
+				a := randF32(rng, m, k)
+				b := randF32(rng, k, n)
+				want := refMatMul32(a, b, 0)
+
+				var pb PackedB32
+				pb.Pack(b)
+				got := NewF32(m, n)
+				MatMulPacked32Into(got, a, &pb)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("MatMulPacked32Into m=%d n=%d k=%d: elem %d = %g, want %g", m, n, k, i, got.Data[i], want.Data[i])
+					}
+				}
+
+				// Accumulating variant: the seed enters the running
+				// accumulator first, so the reference must seed too.
+				wantAcc := refMatMul32(a, b, 0.5)
+				acc := NewF32(m, n)
+				acc.Fill(0.5)
+				MatMulAccPacked32(acc, a, &pb)
+				for i := range wantAcc.Data {
+					if acc.Data[i] != wantAcc.Data[i] {
+						t.Fatalf("MatMulAccPacked32 m=%d n=%d k=%d: elem %d = %g, want %g", m, n, k, i, acc.Data[i], wantAcc.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackTransposed64MatchesPack pins the f64→f32 conversion point:
+// packing float32(wᵀ) directly must equal converting-while-packing.
+func TestPackTransposed64MatchesPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, nk := range [][2]int{{1, 1}, {5, 3}, {8, 8}, {13, 7}, {16, 9}} {
+		n, k := nk[0], nk[1]
+		w := make([]float64, n*k)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		wt := NewF32(k, n)
+		for i := 0; i < n; i++ {
+			for p := 0; p < k; p++ {
+				wt.Data[p*n+i] = float32(w[i*k+p])
+			}
+		}
+		var want, got PackedB32
+		want.Pack(wt)
+		got.PackTransposed64(w, n, k)
+		if want.K != got.K || want.N != got.N || len(want.data) != len(got.data) {
+			t.Fatalf("n=%d k=%d: header mismatch", n, k)
+		}
+		for i := range want.data {
+			if want.data[i] != got.data[i] {
+				t.Fatalf("n=%d k=%d: panel elem %d = %g, want %g", n, k, i, got.data[i], want.data[i])
+			}
+		}
+	}
+}
+
+// TestIm2Col3D32MatchesF64 runs the f32 lowering against the f64 one
+// on identical (exactly representable) inputs, covering the boundary
+// clipping on every face of the grid.
+func TestIm2Col3D32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	b, c, d, h, w := 2, 3, 4, 5, 4
+	x64 := New(b, c, d, h, w)
+	x32 := NewF32(b, c, d, h, w)
+	for i := range x64.Data {
+		v := float64(rng.Intn(16)) / 4 // exactly representable in f32
+		x64.Data[i] = v
+		x32.Data[i] = float32(v)
+	}
+	for _, k := range []int{3, 5} {
+		ck3 := c * k * k * k
+		dhw := d * h * w
+		for _, span := range [][2]int{{0, dhw}, {3, 17}, {dhw - 5, dhw}} {
+			lo, hi := span[0], span[1]
+			cols64 := New(hi-lo, ck3)
+			cols32 := NewF32(hi-lo, ck3)
+			Im2Col3D3264Pair(x64, x32, 1, k, lo, hi, cols64, cols32)
+			for i := range cols64.Data {
+				if float64(cols32.Data[i]) != cols64.Data[i] {
+					t.Fatalf("k=%d span=%v: col elem %d = %g, want %g", k, span, i, cols32.Data[i], cols64.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// Im2Col3D3264Pair lowers the same sample through both precisions.
+func Im2Col3D3264Pair(x64 *Tensor, x32 *F32, b, k, lo, hi int, cols64 *Tensor, cols32 *F32) {
+	Im2Col3D(x64, b, k, lo, hi, cols64)
+	Im2Col3D32(x32, b, k, lo, hi, cols32)
+}
+
+// TestMatMulAcc32MatchesF64 pins the zero-skip accumulating GEMM to
+// the f64 kernel on exactly representable inputs.
+func TestMatMulAcc32MatchesF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	m, p, n := 7, 11, 9
+	a64, b64, c64 := New(m, p), New(p, n), New(m, n)
+	a32, b32, c32 := NewF32(m, p), NewF32(p, n), NewF32(m, n)
+	for i := range a64.Data {
+		v := float64(rng.Intn(8)) - 3
+		if rng.Intn(3) == 0 {
+			v = 0
+		}
+		a64.Data[i] = v
+		a32.Data[i] = float32(v)
+	}
+	for i := range b64.Data {
+		v := float64(rng.Intn(8)) - 3
+		b64.Data[i] = v
+		b32.Data[i] = float32(v)
+	}
+	MatMulAcc(c64, a64, b64)
+	MatMulAcc32(c32, a32, b32)
+	for i := range c64.Data {
+		if float64(c32.Data[i]) != c64.Data[i] {
+			t.Fatalf("elem %d = %g, want %g", i, c32.Data[i], c64.Data[i])
+		}
+	}
+}
+
+// TestTranspose64To32 checks the cached-transpose conversion helper.
+func TestTranspose64To32(t *testing.T) {
+	n, k := 5, 3
+	w := make([]float64, n*k)
+	for i := range w {
+		w[i] = float64(i) * 0.25
+	}
+	wt := Transpose64To32(w, n, k)
+	if wt.Dim(0) != k || wt.Dim(1) != n {
+		t.Fatalf("shape %v, want [%d %d]", wt.Shape, k, n)
+	}
+	for i := 0; i < n; i++ {
+		for p := 0; p < k; p++ {
+			if wt.Data[p*n+i] != float32(w[i*k+p]) {
+				t.Fatalf("elem (%d,%d) = %g, want %g", p, i, wt.Data[p*n+i], float32(w[i*k+p]))
+			}
+		}
+	}
+}
+
+// TestArena32Recycles mirrors the f64 arena contract: after a warm
+// cycle, Get/Reset performs zero heap allocations.
+func TestArena32Recycles(t *testing.T) {
+	a := NewArena32()
+	warm := func() {
+		x := a.Get(4, 7)
+		y := a.GetUninit(16)
+		_ = a.View(x.Data, 28)
+		a.Put(y)
+		z := a.GetUninit(16) // reuses y's buffer
+		_ = z
+		a.Reset()
+	}
+	warm()
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Fatalf("warm Arena32 cycle allocates %v times", allocs)
+	}
+	x := a.Get(3, 3)
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("Arena32.Get returned dirty buffer")
+		}
+	}
+	if x.Len() != 9 || x.Rank() != 2 {
+		t.Fatalf("Arena32.Get shape bookkeeping broken: %v", x.Shape)
+	}
+}
+
+// TestF32CopyFrom64 checks the narrowing conversion helper.
+func TestF32CopyFrom64(t *testing.T) {
+	x := New(2, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i) + 0.5
+	}
+	y := NewF32(2, 3)
+	y.CopyFrom64(x)
+	for i := range x.Data {
+		if y.Data[i] != float32(x.Data[i]) {
+			t.Fatalf("elem %d = %g, want %g", i, y.Data[i], float32(x.Data[i]))
+		}
+	}
+	if math.IsNaN(float64(y.Data[0])) {
+		t.Fatal("unexpected NaN")
+	}
+}

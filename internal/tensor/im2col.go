@@ -19,6 +19,13 @@ import "fmt"
 // flattened (c, kd, kh, kw) patch for output position posLo+r, where
 // positions enumerate (zd, zh, zw) in row-major order. Out-of-bounds
 // patch entries are zero.
+//
+// Every element of cols is written exactly once — in-bounds runs as
+// contiguous copies from the input rows, clipped edges as explicit
+// zeros — so no separate whole-tile clear pass is needed. That halves
+// the kernel's write traffic versus zero-fill-then-scatter, which is
+// what makes the tile convolution bandwidth-bound rather than
+// store-bound (and is where the f32 twin's narrower elements pay).
 func Im2Col3D(x *Tensor, b, k, posLo, posHi int, cols *Tensor) {
 	if x.Rank() != 5 {
 		panic("tensor: Im2Col3D requires a rank-5 input")
@@ -30,29 +37,38 @@ func Im2Col3D(x *Tensor, b, k, posLo, posHi int, cols *Tensor) {
 		panic(fmt.Sprintf("tensor: Im2Col3D cols shape %v, want [%d %d]", cols.Shape, rows, ck3))
 	}
 	pad := k / 2
-	cols.Zero()
 	for pos := posLo; pos < posHi; pos++ {
 		zd, rem := pos/(h*w), pos%(h*w)
 		zh, zw := rem/w, rem%w
+		// kw clip range, shared by every (c, kd, kh) plane of this row.
+		kwLo, kwHi := 0, k
+		if lo := pad - zw; lo > 0 {
+			kwLo = lo
+		}
+		if hi := w + pad - zw; hi < k {
+			kwHi = hi
+		}
+		iwLo := zw - pad + kwLo
 		row := cols.Data[(pos-posLo)*ck3 : (pos-posLo+1)*ck3]
 		for ci := 0; ci < c; ci++ {
 			for kd := 0; kd < k; kd++ {
 				id := zd + kd - pad
+				dst := row[((ci*k+kd)*k)*k : ((ci*k+kd)*k+k)*k]
 				if id < 0 || id >= d {
+					clear(dst)
 					continue
 				}
+				xPlane := x.Data[(((b*c+ci)*d+id)*h)*w : (((b*c+ci)*d+id)*h+h)*w]
 				for kh := 0; kh < k; kh++ {
 					ih := zh + kh - pad
+					seg := dst[kh*k : kh*k+k]
 					if ih < 0 || ih >= h {
+						clear(seg)
 						continue
 					}
-					xRow := x.Data[((((b*c+ci)*d+id)*h + ih) * w) : ((((b*c+ci)*d+id)*h+ih)*w + w)]
-					dst := row[((ci*k+kd)*k+kh)*k : ((ci*k+kd)*k+kh)*k+k]
-					for kw := 0; kw < k; kw++ {
-						if iw := zw + kw - pad; iw >= 0 && iw < w {
-							dst[kw] = xRow[iw]
-						}
-					}
+					clear(seg[:kwLo])
+					copy(seg[kwLo:kwHi], xPlane[ih*w+iwLo:])
+					clear(seg[kwHi:])
 				}
 			}
 		}
@@ -82,7 +98,7 @@ func Col2Im3D(dcols *Tensor, b, k, posLo, posHi int, dx *Tensor) {
 					if ih < 0 || ih >= h {
 						continue
 					}
-					dxRow := dx.Data[((((b*c+ci)*d+id)*h + ih) * w) : ((((b*c+ci)*d+id)*h+ih)*w + w)]
+					dxRow := dx.Data[((((b*c+ci)*d+id)*h + ih) * w):((((b*c+ci)*d+id)*h+ih)*w + w)]
 					src := row[((ci*k+kd)*k+kh)*k : ((ci*k+kd)*k+kh)*k+k]
 					for kw := 0; kw < k; kw++ {
 						if iw := zw + kw - pad; iw >= 0 && iw < w {

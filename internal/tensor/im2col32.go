@@ -1,0 +1,106 @@
+package tensor
+
+import "fmt"
+
+// Float32 twins of the im2col lowering kernels (inference only — the
+// adjoint Col2Im3D stays f64 with the training path). Geometry and
+// loop structure match im2col.go exactly; only the element width
+// changes, so the f32 tile path selects the same algorithm and visits
+// the same positions as the f64 reference.
+
+// Im2Col3D32 fills cols with the patch matrix for output positions
+// [posLo, posHi) of sample b of x ([B, C, D, H, W] float32), under the
+// repository's Conv3D contract (cubic kernel k, stride 1, same zero
+// padding). See Im2Col3D for the layout and the single-pass dense
+// write scheme — at four bytes per element this kernel moves half the
+// reference path's bytes.
+func Im2Col3D32(x *F32, b, k, posLo, posHi int, cols *F32) {
+	if x.Rank() != 5 {
+		panic("tensor: Im2Col3D32 requires a rank-5 input")
+	}
+	c, d, h, w := x.Dim(1), x.Dim(2), x.Dim(3), x.Dim(4)
+	ck3 := c * k * k * k
+	rows := posHi - posLo
+	if cols.Rank() != 2 || cols.Dim(0) != rows || cols.Dim(1) != ck3 {
+		panic(fmt.Sprintf("tensor: Im2Col3D32 cols shape %v, want [%d %d]", cols.Shape, rows, ck3))
+	}
+	pad := k / 2
+	for pos := posLo; pos < posHi; pos++ {
+		zd, rem := pos/(h*w), pos%(h*w)
+		zh, zw := rem/w, rem%w
+		kwLo, kwHi := 0, k
+		if lo := pad - zw; lo > 0 {
+			kwLo = lo
+		}
+		if hi := w + pad - zw; hi < k {
+			kwHi = hi
+		}
+		iwLo := zw - pad + kwLo
+		row := cols.Data[(pos-posLo)*ck3 : (pos-posLo+1)*ck3]
+		for ci := 0; ci < c; ci++ {
+			for kd := 0; kd < k; kd++ {
+				id := zd + kd - pad
+				dst := row[((ci*k+kd)*k)*k : ((ci*k+kd)*k+k)*k]
+				if id < 0 || id >= d {
+					clear(dst)
+					continue
+				}
+				xPlane := x.Data[(((b*c+ci)*d+id)*h)*w : (((b*c+ci)*d+id)*h+h)*w]
+				for kh := 0; kh < k; kh++ {
+					ih := zh + kh - pad
+					seg := dst[kh*k : kh*k+k]
+					if ih < 0 || ih >= h {
+						clear(seg)
+						continue
+					}
+					clear(seg[:kwLo])
+					copy(seg[kwLo:kwHi], xPlane[ih*w+iwLo:])
+					clear(seg[kwHi:])
+				}
+			}
+		}
+	}
+}
+
+// MatMulAcc32 computes C += A x B for rank-2 F32 tensors, streaming B
+// row-wise with zero A entries skipped — the sparse-voxel fast path of
+// the f32 tile convolution, mirroring MatMulAcc.
+func MatMulAcc32(c, a, b *F32) {
+	if a.Rank() != 2 || b.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: MatMulAcc32 requires rank-2 tensors")
+	}
+	m, p := a.Shape[0], a.Shape[1]
+	p2, n := b.Shape[0], b.Shape[1]
+	if p != p2 || c.Shape[0] != m || c.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulAcc32 shapes %v x %v -> %v", a.Shape, b.Shape, c.Shape))
+	}
+	for i := 0; i < m; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		ai := a.Data[i*p : (i+1)*p]
+		for q := 0; q < p; q++ {
+			av := ai[q]
+			if av == 0 {
+				continue
+			}
+			Axpy32(ci, b.Data[q*n:(q+1)*n], av)
+		}
+	}
+}
+
+// Transpose64To32 returns the float32 transpose of the row-major
+// n x k float64 matrix held in data — the f32 counterpart of the
+// cached transposed weights behind the tile convolution's zero-skip
+// GEMM, converting at the same single point as PackTransposed64.
+func Transpose64To32(data []float64, n, k int) *F32 {
+	if len(data) != n*k {
+		panic(fmt.Sprintf("tensor: Transpose64To32 needs %d elements, got %d", n*k, len(data)))
+	}
+	t := NewF32(k, n)
+	for i := 0; i < n; i++ {
+		row := data[i*k : (i+1)*k]
+		for j, v := range row {
+			t.Data[j*n+i] = float32(v)
+		}
+	}
+	return t
+}

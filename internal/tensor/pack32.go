@@ -1,0 +1,185 @@
+package tensor
+
+import "fmt"
+
+// This file is the float32 twin of pack.go: the same cache-blocked
+// panel GEMM with the same packPanel=8 blocking and the same 8-lane
+// register accumulation, over float32 operands. Halving the element
+// width halves the memory traffic of every panel sweep — a K x 8
+// panel is 32 bytes per accumulation row instead of 64 — which is the
+// point of the f32 inference fast path. Per-element term order is the
+// same ascending-k order as the f64 kernels; only the arithmetic width
+// differs, so f32 results track the f64 reference to rounding error
+// rather than diverging algorithmically.
+//
+// Weights enter this path exactly once per inference workspace:
+// PackTransposed64 converts the float64 training weights to float32
+// while packing, so the conversion point is the pack and nothing
+// upstream ever holds an f32 weight copy.
+
+// PackedB32 is a K x N float32 matrix repacked into column panels for
+// MatMulAccPacked32 / MatMulPacked32Into. Layout is identical to
+// PackedB: panel j holds columns [j*packPanel, (j+1)*packPanel)
+// stored k-major, last panel zero-padded. Built once, read
+// concurrently.
+type PackedB32 struct {
+	K, N int
+	data []float32
+}
+
+func (pb *PackedB32) init(k, n int) {
+	pb.K, pb.N = k, n
+	need := (n + packPanel - 1) / packPanel * packPanel * k
+	if cap(pb.data) < need {
+		pb.data = make([]float32, need)
+	} else {
+		pb.data = pb.data[:need]
+	}
+}
+
+// Pack fills pb from the row-major K x N float32 matrix b, reusing
+// pb's buffer when it is large enough.
+func (pb *PackedB32) Pack(b *F32) {
+	if b.Rank() != 2 {
+		panic("tensor: PackedB32.Pack requires a rank-2 tensor")
+	}
+	k, n := b.Shape[0], b.Shape[1]
+	pb.init(k, n)
+	for j0 := 0; j0 < n; j0 += packPanel {
+		panel := pb.data[j0/packPanel*k*packPanel:]
+		w := n - j0
+		if w > packPanel {
+			w = packPanel
+		}
+		for p := 0; p < k; p++ {
+			src := b.Data[p*n+j0 : p*n+j0+w]
+			dst := panel[p*packPanel : p*packPanel+packPanel]
+			copy(dst, src)
+			for t := w; t < packPanel; t++ {
+				dst[t] = 0
+			}
+		}
+	}
+}
+
+// PackTransposed64 fills pb with the float32 transpose of the
+// row-major n x k float64 matrix held in data — the f64→f32 weight
+// conversion point of the inference fast path. The result is the
+// packed form of float32(dataᵀ), built without materializing either
+// the transpose or an intermediate f32 copy.
+func (pb *PackedB32) PackTransposed64(data []float64, n, k int) {
+	if len(data) != n*k {
+		panic(fmt.Sprintf("tensor: PackTransposed64 needs %d elements, got %d", n*k, len(data)))
+	}
+	pb.init(k, n)
+	for j0 := 0; j0 < n; j0 += packPanel {
+		panel := pb.data[j0/packPanel*k*packPanel:]
+		w := n - j0
+		if w > packPanel {
+			w = packPanel
+		}
+		for p := 0; p < k; p++ {
+			dst := panel[p*packPanel : p*packPanel+packPanel]
+			for t := 0; t < w; t++ {
+				dst[t] = float32(data[(j0+t)*k+p])
+			}
+			for t := w; t < packPanel; t++ {
+				dst[t] = 0
+			}
+		}
+	}
+}
+
+// MatMulAccPacked32 computes c += a x B for the packed B with zero
+// entries of A skipped — the float32 mirror of MatMulAccPacked.
+func MatMulAccPacked32(c, a *F32, pb *PackedB32) {
+	checkPackedShapes32("MatMulAccPacked32", c, a, pb)
+	matMulPacked32Rows(c, a, pb, 0, a.Shape[0], true, true)
+}
+
+// MatMulPacked32Into computes c = a x B for the packed B, fully
+// overwriting c without reading it — the dense-layer forward product
+// of the f32 path when pb holds Wᵀ (PackTransposed64).
+func MatMulPacked32Into(c, a *F32, pb *PackedB32) {
+	checkPackedShapes32("MatMulPacked32Into", c, a, pb)
+	matMulPacked32Rows(c, a, pb, 0, a.Shape[0], false, false)
+}
+
+func checkPackedShapes32(op string, c, a *F32, pb *PackedB32) {
+	if a.Rank() != 2 || c.Rank() != 2 {
+		panic("tensor: " + op + " requires rank-2 tensors")
+	}
+	if a.Shape[1] != pb.K || c.Shape[0] != a.Shape[0] || c.Shape[1] != pb.N {
+		panic(fmt.Sprintf("tensor: %s shapes %v x [%d %d] -> %v", op, a.Shape, pb.K, pb.N, c.Shape))
+	}
+}
+
+// matMulPacked32Rows runs the panel kernel over output rows [lo, hi),
+// structurally identical to matMulPackedRows: 8 register lanes per
+// full panel (the SSE kernels in axpy_amd64.s — two vector registers
+// swept down the whole panel), a 4-lane block then scalar lanes for
+// the ragged tail, ascending-k per-element order, optional zero-skip.
+// Only the two combinations the exported entry points use exist:
+// (acc, skip) for MatMulAccPacked32 and (overwrite, dense) for
+// MatMulPacked32Into.
+func matMulPacked32Rows(c, a *F32, pb *PackedB32, lo, hi int, acc, skip bool) {
+	k, n := pb.K, pb.N
+	full := n / packPanel * packPanel
+	for j0 := 0; j0 < full; j0 += packPanel {
+		panel := pb.data[j0/packPanel*k*packPanel : (j0/packPanel+1)*k*packPanel]
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n+j0 : i*n+j0+packPanel : i*n+j0+packPanel]
+			if acc {
+				packedAccSkip32(ci, ai, panel)
+			} else {
+				packedInto32(ci, ai, panel)
+			}
+		}
+	}
+	if full == n {
+		return
+	}
+	// Tail panel: fewer than packPanel live columns, same 4-lane block
+	// plus scalar lanes as the f64 kernel.
+	panel := pb.data[full/packPanel*k*packPanel:]
+	t0 := 0
+	if n-full >= 4 {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n+full : i*n+full+4 : i*n+full+4]
+			var s0, s1, s2, s3 float32
+			if acc {
+				s0, s1, s2, s3 = ci[0], ci[1], ci[2], ci[3]
+			}
+			for p, av := range ai {
+				if skip && av == 0 {
+					continue
+				}
+				r := panel[p*packPanel : p*packPanel+4]
+				s0 += av * r[0]
+				s1 += av * r[1]
+				s2 += av * r[2]
+				s3 += av * r[3]
+			}
+			ci[0], ci[1], ci[2], ci[3] = s0, s1, s2, s3
+		}
+		t0 = 4
+	}
+	for i := lo; i < hi; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		for t := t0; t < n-full; t++ {
+			var s float32
+			if acc {
+				s = c.Data[i*n+full+t]
+			}
+			for p, av := range ai {
+				if skip && av == 0 {
+					continue
+				}
+				s += av * panel[p*packPanel+t]
+			}
+			c.Data[i*n+full+t] = s
+		}
+	}
+}

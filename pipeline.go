@@ -144,6 +144,15 @@ func (p *Pipeline) WithRetry(maxAttempts int) *Pipeline {
 	return p
 }
 
+// WithPrecision selects the engine arithmetic for the scoring stage:
+// PrecisionF64 (the verified reference, the default) or PrecisionF32
+// (the half-memory-traffic fast path; rank-faithful to the reference
+// per the engine's A/B harness).
+func (p *Pipeline) WithPrecision(prec Precision) *Pipeline {
+	p.job.Precision = prec
+	return p
+}
+
 // Run executes the funnel for one target: dock every compound, score
 // all poses with the distributed job, aggregate to per-compound
 // scores, and rank with the selection cost function. Cancelling ctx

@@ -109,6 +109,42 @@ func TestPipelineResultPerStageCounts(t *testing.T) {
 	}
 }
 
+// TestPipelineWithPrecision runs the same funnel on the f64 reference
+// and the f32 fast path: the f32 run must complete, select the same
+// number of compounds, and keep its per-pose scores within the
+// engine's accumulation tolerance of the reference.
+func TestPipelineWithPrecision(t *testing.T) {
+	m := tinyTestModels()
+	deck := testDeck(t, 4)
+	tgt := TargetByName("protease1")
+
+	run := func(p Precision) *Result {
+		res, err := NewPipeline(m).WithDocking(2, 7).WithPrecision(p).Run(context.Background(), tgt, deck)
+		if err != nil {
+			t.Fatalf("%s pipeline: %v", p, err)
+		}
+		return res
+	}
+	ref := run(PrecisionF64)
+	fast := run(PrecisionF32)
+	if len(fast.Predictions) != len(ref.Predictions) {
+		t.Fatalf("f32 scored %d poses, f64 %d", len(fast.Predictions), len(ref.Predictions))
+	}
+	for i := range ref.Predictions {
+		a, b := ref.Predictions[i].Fusion, fast.Predictions[i].Fusion
+		den := 1.0
+		if d := a; d > 1 || d < -1 {
+			den = d
+			if den < 0 {
+				den = -den
+			}
+		}
+		if e := (a - b) / den; e > 1e-4 || e < -1e-4 {
+			t.Fatalf("pose %d: f32 score %v vs f64 %v", i, b, a)
+		}
+	}
+}
+
 // TestPipelineEnsembleScores runs the pipeline under a 3-scorer
 // ensemble and checks per-scorer pose columns reach the Result.
 func TestPipelineEnsembleScores(t *testing.T) {
