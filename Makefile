@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-smoke clean
+.PHONY: all build verify test test-distributed vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-smoke clean
 
 all: build
 
@@ -29,6 +29,14 @@ vulncheck:
 
 test:
 	$(GO) test ./...
+
+# Race-enabled pass over the distributed campaign runtime: lease
+# state machine on the fake clock, racing-claim property test, the
+# fault-injection chaos harness and the forked multi-process
+# byte-identity test. The -timeout is a hang detector — the tests
+# themselves run on virtual time.
+test-distributed:
+	$(GO) test -race -timeout 10m ./internal/campaign/... ./internal/cluster/
 
 # Tier-1 verification: build, vet, full test suite.
 verify: build vet test

@@ -11,7 +11,10 @@
 //	campaign run    -dir DIR [-targets a,b] [-scorers a,b,c] [-n N]
 //	                [-chunk N] [-workers N] [-loaders N] [-top N]
 //	                [-precision f64|f32] [-failprob P] [-seed N] [-full]
-//	campaign resume -dir DIR [-precision f64|f32]
+//	                [-distributed] [-lease-ttl D]
+//	campaign resume -dir DIR [-precision f64|f32] [-distributed]
+//	                [-workers N] [-lease-ttl D]
+//	campaign worker -dir DIR [-id ID] [-lease-ttl D]
 //	campaign status -dir DIR
 //
 // `run` creates the campaign (refusing to clobber an existing one),
@@ -20,8 +23,23 @@
 // deterministically rebuilds the same scorer set from the recorded
 // names and scale, skips completed chunks and re-runs the rest —
 // refusing to resume under a different scorer set. `status` prints
-// per-target progress and the manifest's scorer set without touching
-// models or compound libraries.
+// per-target progress, the manifest's scorer set and (for distributed
+// runs) per-worker liveness without touching models or compound
+// libraries.
+//
+// With -distributed, run/resume start the multi-process runtime
+// instead of the in-process worker pool: the coordinator runs in this
+// process (sole manifest writer, lease expiry, finalization) and
+// forks -workers N worker processes over the `worker` subcommand,
+// each claiming (target, chunk) units through the campaign
+// directory's lease store. `campaign worker -dir DIR` is the attach
+// mode: run it by hand — on this host or any host sharing the
+// directory — to join extra workers to a live campaign
+// (-distributed -workers 0 runs a coordinator that relies entirely
+// on attached workers). Killing a worker at any instant loses
+// nothing: its leases expire and the coordinator reassigns the units,
+// with final selections byte-identical to an uninterrupted
+// single-process run.
 package main
 
 import (
@@ -34,8 +52,11 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"deepfusion/internal/campaign"
+	"deepfusion/internal/campaign/dispatch"
+	"deepfusion/internal/cluster"
 	"deepfusion/internal/experiments"
 )
 
@@ -45,14 +66,19 @@ func usage() {
 Subcommands:
   run     create a campaign directory and run it to completion
   resume  continue a killed, interrupted or failure-stalled campaign
-  status  print per-target unit progress from the manifest
+  worker  attach one worker process to a distributed campaign
+  status  print per-target unit progress (and worker liveness) from the manifest
 
 Run 'campaign <subcommand> -h' for the subcommand's flags.
 
-A campaign directory holds manifest.json plus shards/*.h5l. Kill the
-process at any time; 'campaign resume -dir DIR' skips completed
-chunks and re-runs only in-flight or failed ones, producing the same
-selections as an uninterrupted run.
+A campaign directory holds manifest.json plus shards/*.h5l (and, for
+distributed runs, claims/ + results/). Kill the process at any time;
+'campaign resume -dir DIR' skips completed chunks and re-runs only
+in-flight or failed ones, producing the same selections as an
+uninterrupted run. With -distributed the campaign runs as a
+coordinator plus N worker processes claiming chunks through a
+lease-aware store; killed workers' units are reassigned on lease
+expiry with the same byte-identity guarantee.
 `)
 }
 
@@ -70,6 +96,8 @@ func main() {
 		cmdRun(flag.Args()[1:])
 	case "resume":
 		cmdResume(flag.Args()[1:])
+	case "worker":
+		cmdWorker(flag.Args()[1:])
 	case "status":
 		cmdStatus(flag.Args()[1:])
 	default:
@@ -101,6 +129,8 @@ func cmdRun(args []string) {
 	failprob := fs.Float64("failprob", 0, "injected per-job failure probability (paper: ~0.03 at 4 nodes)")
 	seed := fs.Int64("seed", 1, "campaign seed (docking + failure dice; never the scores)")
 	full := fs.Bool("full", false, "train the scoring model at the full budget")
+	distributed := fs.Bool("distributed", false, "run as coordinator + forked worker processes claiming chunks through the lease store (0 workers: coordinator only, attach workers by hand)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "distributed: heartbeat TTL before a worker's units are reassigned")
 	fs.Parse(args)
 	if *dir == "" {
 		log.Fatal("run: -dir is required")
@@ -136,6 +166,10 @@ func cmdRun(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *distributed {
+		executeDistributed(c, *workers, *leaseTTL)
+		return
+	}
 	execute(c)
 }
 
@@ -143,6 +177,9 @@ func cmdResume(args []string) {
 	fs := flag.NewFlagSet("campaign resume", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory to resume (required)")
 	precision := fs.String("precision", "", "engine arithmetic the resume expects (f64|f32); must match the manifest (default: accept the manifest's)")
+	distributed := fs.Bool("distributed", false, "resume as coordinator + forked worker processes")
+	workers := fs.Int("workers", 2, "distributed: worker processes to fork (0: coordinator only)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "distributed: heartbeat TTL before a worker's units are reassigned")
 	fs.Parse(args)
 	if *dir == "" {
 		log.Fatal("resume: -dir is required")
@@ -173,7 +210,115 @@ func cmdResume(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *distributed {
+		executeDistributed(c, *workers, *leaseTTL)
+		return
+	}
 	execute(c)
+}
+
+// cmdWorker attaches one worker process to an existing campaign: it
+// rebuilds the manifest's scorer set deterministically, opens the
+// campaign read-only (workers never write the manifest) and runs the
+// claim → execute → ack loop until every unit settles. Run it by hand
+// to join extra workers to a live campaign from any host sharing the
+// campaign directory.
+func cmdWorker(args []string) {
+	fs := flag.NewFlagSet("campaign worker", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory to attach to (required)")
+	id := fs.String("id", "", "worker ID recorded in claims and the manifest (default: host-pid)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "heartbeat TTL; must match the coordinator's")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("worker: -dir is required")
+	}
+	cfg, err := campaign.ReadConfig(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := "smoke"
+	if cfg.ModelScale != "" {
+		scale = cfg.ModelScale
+	}
+	fmt.Printf("worker attaching to %s: rebuilding scorer set %v (scale=%s)...\n", *dir, cfg.Scorers, scale)
+	set, err := experiments.ScorersByName(scaleOf(scale), cfg.Scorers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := campaign.Attach(*dir, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := interruptibleContext()
+	defer stop()
+	w := &dispatch.Worker{
+		ID:    *id,
+		Camp:  c,
+		Store: campaign.NewDispatchStore(*dir, nil),
+		Lease: campaign.LeaseOptions{TTL: *leaseTTL},
+		OnEvent: func(ev dispatch.Event) {
+			if ev.Kind == dispatch.EventAcked {
+				fmt.Printf("  worker %s: unit %s acked (epoch %d)\n", ev.Worker, ev.Unit, ev.Epoch)
+			}
+		},
+	}
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+	fmt.Println("worker done: campaign settled")
+}
+
+// executeDistributed runs the coordinator in this process and forks n
+// workers over the `worker` subcommand. The campaign handle must come
+// from New or Load (the coordinator is the manifest writer).
+func executeDistributed(c *campaign.Campaign, n int, leaseTTL time.Duration) {
+	ctx, stop := interruptibleContext()
+	defer stop()
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n == 0 {
+		fmt.Printf("coordinator only: attach workers with `campaign worker -dir %s`\n", c.Dir())
+	}
+	lastDone := -1
+	co := &dispatch.Coordinator{
+		Camp:  c,
+		Lease: campaign.LeaseOptions{TTL: leaseTTL},
+		OnSync: func(rep campaign.SyncReport) {
+			if rep.Done != lastDone {
+				lastDone = rep.Done
+				fmt.Printf("  %d done / %d in flight / %d pending / %d failed\n",
+					rep.Done, rep.InFlight, rep.Pending, rep.Failed)
+			}
+			for _, u := range rep.Reassigned {
+				fmt.Printf("  lease expired: unit %s reassigned\n", u)
+			}
+		},
+	}
+	res, err := dispatch.RunProcesses(ctx, co, n, exe, func(i int) []string {
+		return []string{"worker", "-dir", c.Dir(), "-id", dispatch.WorkerID(i), "-lease-ttl", leaseTTL.String()}
+	})
+	if err != nil {
+		if errors.Is(err, campaign.ErrInterrupted) {
+			fmt.Printf("\ninterrupted — resume with: campaign resume -distributed -dir %s\n", c.Dir())
+			os.Exit(3)
+		}
+		log.Fatal(err)
+	}
+	printRunStats(co.RunStats())
+	printResult(res)
+}
+
+func printRunStats(rs cluster.RunStats) {
+	if rs.Units == 0 {
+		return
+	}
+	fmt.Printf("\ndistributed run: %d units, %d poses in %v (%.1f poses/s), peak %d in flight, %d reassignment(s)\n",
+		rs.Units, rs.PosesScored, rs.Makespan.Round(time.Millisecond), rs.PosesPerSecond(), rs.PeakUnits, rs.Reassignments)
+	for _, w := range rs.PerWorker {
+		fmt.Printf("  %-12s %3d units  %6d poses  busy %v\n", w.Worker, w.Units, w.Poses, w.Busy.Round(time.Millisecond))
+	}
 }
 
 func cmdStatus(args []string) {
@@ -208,6 +353,10 @@ func execute(c *campaign.Campaign) {
 		}
 		log.Fatal(err)
 	}
+	printResult(res)
+}
+
+func printResult(res *campaign.Result) {
 	fmt.Println()
 	for _, tr := range res.PerTarget {
 		fmt.Printf("%s: screened %d compounds, selected %d (primary hits %d, confirmed %d)\n",
@@ -229,6 +378,17 @@ func printStatus(st campaign.Status) {
 		st.DeckSize, st.Done, st.InFlight, st.Failed, st.Pending, st.Total, st.Poses)
 	for _, ts := range st.PerTarget {
 		fmt.Printf("  %-12s %d/%d units  %6d poses\n", ts.Target, ts.Done, ts.Total, ts.Poses)
+	}
+	if len(st.Workers) > 0 {
+		fmt.Printf("workers (%d reassignment(s)):\n", st.Reassignments)
+		for _, w := range st.Workers {
+			held := "-"
+			if len(w.Leases) > 0 {
+				held = strings.Join(w.Leases, ",")
+			}
+			fmt.Printf("  %-14s last beat %s ago  %2d units (%.2f/s)  %6d poses  holds: %s\n",
+				w.ID, time.Since(w.LastBeat).Round(time.Second), w.UnitsDone, w.UnitsPerSec, w.PosesDone, held)
+		}
 	}
 	if st.Finalized {
 		fmt.Println("state: finalized (selections recorded in manifest)")

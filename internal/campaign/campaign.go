@@ -161,6 +161,11 @@ func (c Config) validate() error {
 // work remaining; the manifest holds the resume point.
 var ErrInterrupted = errors.New("campaign: interrupted; resume from manifest")
 
+// ErrUnitFailed marks a unit whose scoring job exhausted its retry
+// budget — a real failure to record (and retry on the next run), as
+// opposed to an interruption or an infrastructure error.
+var ErrUnitFailed = errors.New("campaign: unit failed")
+
 // Campaign is a live handle on a campaign directory: the manifest,
 // the deterministically regenerated deck, and the injected scorer
 // set (primary first — the primary fills the legacy fusion_pk column
@@ -188,6 +193,10 @@ type Campaign struct {
 	// inject mid-campaign kills.
 	OnUnitStart func(u UnitRecord)
 	OnUnitDone  func(u UnitRecord)
+	// OnShardWrite is an optional observer called after each shard
+	// file of a unit lands on disk — the fault-injection harness's
+	// mid-shard-write kill point.
+	OnShardWrite func(unitID, shard string)
 }
 
 // New creates a campaign directory with a fresh manifest recording
@@ -215,6 +224,11 @@ func New(dir string, cfg Config, scorers []screen.Scorer) (*Campaign, error) {
 		return nil, fmt.Errorf("campaign: %s already holds a campaign (use Load)", dir)
 	}
 	if err := os.MkdirAll(filepath.Join(dir, shardDirName), 0o755); err != nil {
+		return nil, err
+	}
+	// The dispatch dirs exist from birth so workers can attach to a
+	// campaign the moment it is created, before any coordinator pass.
+	if err := ensureDispatchDirs(dir); err != nil {
 		return nil, err
 	}
 	deck := drawDeck(cfg)
@@ -274,6 +288,19 @@ func WithPrecision(p screen.Precision) LoadOption {
 // campaign's comparability guarantee. Options declare further intents
 // (e.g. WithPrecision) the manifest must agree with.
 func Load(dir string, scorers []screen.Scorer, opts ...LoadOption) (*Campaign, error) {
+	return openCampaign(dir, scorers, true, opts...)
+}
+
+// Attach opens an existing campaign for a worker process: the same
+// validation as Load (scorer set, deck size, declared intents), but
+// it never mutates unit states and never writes the manifest — in the
+// distributed runtime the coordinator is the only manifest writer,
+// and workers take their units through the lease store instead.
+func Attach(dir string, scorers []screen.Scorer, opts ...LoadOption) (*Campaign, error) {
+	return openCampaign(dir, scorers, false, opts...)
+}
+
+func openCampaign(dir string, scorers []screen.Scorer, mutate bool, opts ...LoadOption) (*Campaign, error) {
 	man, err := loadManifest(dir)
 	if err != nil {
 		return nil, err
@@ -295,24 +322,26 @@ func Load(dir string, scorers []screen.Scorer, opts ...LoadOption) (*Campaign, e
 	if len(deck) != man.DeckSize {
 		return nil, fmt.Errorf("campaign: deck regenerated to %d compounds, manifest has %d (library drift?)", len(deck), man.DeckSize)
 	}
-	changed := false
-	for i := range man.Units {
-		u := &man.Units[i]
-		if u.State == UnitInFlight {
-			u.State = UnitPending
-			u.Shards = nil
-			changed = true
-			continue
+	if mutate {
+		changed := false
+		for i := range man.Units {
+			u := &man.Units[i]
+			if u.State == UnitInFlight {
+				u.State = UnitPending
+				u.Shards = nil
+				changed = true
+				continue
+			}
+			if u.State == UnitDone && !shardsExist(dir, u.Shards) {
+				u.State = UnitPending
+				u.Shards = nil
+				changed = true
+			}
 		}
-		if u.State == UnitDone && !shardsExist(dir, u.Shards) {
-			u.State = UnitPending
-			u.Shards = nil
-			changed = true
-		}
-	}
-	if changed {
-		if err := saveManifest(dir, man); err != nil {
-			return nil, err
+		if changed {
+			if err := saveManifest(dir, man); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return newHandle(dir, man, deck, scorers), nil
@@ -328,6 +357,13 @@ func newHandle(dir string, man *Manifest, deck []*chem.Mol, scorers []screen.Sco
 
 // Dir returns the campaign directory.
 func (c *Campaign) Dir() string { return c.dir }
+
+// Units returns a snapshot of the manifest's unit grid.
+func (c *Campaign) Units() []UnitRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]UnitRecord(nil), c.man.Units...)
+}
 
 // Config returns the stored campaign configuration.
 func (c *Campaign) Config() Config { return c.man.Config }
@@ -492,7 +528,6 @@ func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	cfg := c.man.Config
 	c.mu.Lock()
 	u := c.man.Units[idx]
 	u.State = UnitInFlight
@@ -506,12 +541,82 @@ func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 		c.OnUnitStart(u)
 	}
 
+	out, execErr := c.ExecuteUnit(ctx, u, u.Epoch)
+	if execErr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err() // interruption, not a failed unit
+		}
+		if !errors.Is(execErr, ErrUnitFailed) {
+			return execErr // infrastructure error; unit stays in-flight
+		}
+		c.mu.Lock()
+		u = c.man.Units[idx]
+		u.State = UnitFailed
+		u.Attempts += out.Attempts
+		c.man.Units[idx] = u
+		saveErr := saveManifest(c.dir, c.man)
+		c.mu.Unlock()
+		if saveErr != nil {
+			return saveErr
+		}
+		return execErr
+	}
+
+	c.mu.Lock()
+	u = c.man.Units[idx]
+	u.State = UnitDone
+	u.Attempts += out.Attempts
+	u.Poses = out.Poses
+	u.Skipped = out.Skipped
+	u.Shards = out.Shards
+	c.man.Units[idx] = u
+	err = saveManifest(c.dir, c.man)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if c.OnUnitDone != nil {
+		c.OnUnitDone(u)
+	}
+	return nil
+}
+
+// UnitOutcome is the result of executing one work unit: the shard
+// files written and the counts the manifest records. Attempts is
+// filled even when execution fails, so the retry seeds keep
+// advancing.
+type UnitOutcome struct {
+	Poses    int
+	Skipped  int
+	Attempts int
+	Shards   []string
+}
+
+// ExecuteUnit runs one work unit end to end — dock the chunk, score
+// every pose with the distributed ensemble job, write the unit's
+// h5lite shards — WITHOUT touching the manifest. It is the
+// worker-process half of the orchestrator: single-process Run wraps
+// it in manifest transitions, distributed workers wrap it in the
+// lease store's claim/ack protocol. epoch qualifies the shard
+// filenames, so a fenced zombie's late shard write lands under its
+// own (ignored) epoch and can never collide with the current owner's.
+//
+// A returned error wrapping ErrUnitFailed means the scoring job
+// exhausted its retry budget (record + retry later); a context error
+// means interruption (the unit is simply abandoned); anything else is
+// an infrastructure error.
+func (c *Campaign) ExecuteUnit(ctx context.Context, u UnitRecord, epoch int) (UnitOutcome, error) {
+	var out UnitOutcome
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	cfg := c.man.Config
 	tgt := target.ByName(u.Target)
 	chunk := c.deck[u.Lo:u.Hi]
 	seed := unitSeed(cfg.Seed, u)
 	poses, problems, err := screen.DockCompounds(ctx, tgt, chunk, cfg.MaxPoses, seed)
 	if err != nil {
-		return err // cancelled mid-dock; unit stays in-flight for resume
+		return out, err // cancelled mid-dock; unit stays in-flight for resume
 	}
 	// DockCompounds appends poses in goroutine-completion order; sort
 	// into the canonical (compound, pose-rank) order so shard bytes —
@@ -534,62 +639,53 @@ func (c *Campaign) runUnit(ctx context.Context, idx int) error {
 	// handshakes), not a retryable unit failure.
 	pf, err := c.prefeatureFor(tgt)
 	if err != nil {
-		return fmt.Errorf("campaign: unit %s: %w", u.ID, err)
+		return out, fmt.Errorf("campaign: unit %s: %w", u.ID, err)
 	}
 	o.Prefeature = pf
 	preds, attempts, jobErr := screen.RunJobEnsembleWithRetry(ctx, c.scorers, tgt, poses, o, cfg.MaxAttempts)
+	out.Attempts = attempts
 	if jobErr != nil {
 		if ctx.Err() != nil {
-			return ctx.Err() // interruption, not a failed unit
+			return out, ctx.Err() // interruption, not a failed unit
 		}
-		c.mu.Lock()
-		u = c.man.Units[idx]
-		u.State = UnitFailed
-		u.Attempts += attempts
-		c.man.Units[idx] = u
-		saveErr := saveManifest(c.dir, c.man)
-		c.mu.Unlock()
-		if saveErr != nil {
-			return saveErr
-		}
-		return fmt.Errorf("campaign: unit %s: %w", u.ID, jobErr)
+		return out, fmt.Errorf("%w: unit %s: %v", ErrUnitFailed, u.ID, jobErr)
 	}
 
-	shardNames, err := c.writeUnitShards(u, preds)
+	shardNames, err := c.writeUnitShards(ctx, u, epoch, preds)
 	if err != nil {
-		return fmt.Errorf("campaign: unit %s: %w", u.ID, err)
+		return out, fmt.Errorf("campaign: unit %s: %w", u.ID, err)
 	}
-
-	c.mu.Lock()
-	u = c.man.Units[idx]
-	u.State = UnitDone
-	u.Attempts += attempts
-	u.Poses = len(preds)
-	u.Skipped = len(problems)
-	u.Shards = shardNames
-	c.man.Units[idx] = u
-	err = saveManifest(c.dir, c.man)
-	c.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	if c.OnUnitDone != nil {
-		c.OnUnitDone(u)
-	}
-	return nil
+	out.Poses = len(preds)
+	out.Skipped = len(problems)
+	out.Shards = shardNames
+	return out, nil
 }
 
 // writeUnitShards persists one unit's predictions as compound-keyed
 // h5lite shards (screen.WriteShards layout), each written to a temp
 // file and renamed so a kill never leaves a torn shard behind a
-// done-marked unit.
-func (c *Campaign) writeUnitShards(u UnitRecord, preds []screen.Prediction) ([]string, error) {
+// done-marked unit. Epoch 0 keeps the legacy single-process names;
+// later epochs (distributed reassignments) qualify the filename so a
+// zombie's late write can never race the current owner's. The context
+// is checked between shard files: a mid-shard-write kill leaves the
+// earlier shards complete on disk and the unit unacked.
+func (c *Campaign) writeUnitShards(ctx context.Context, u UnitRecord, epoch int, preds []screen.Prediction) ([]string, error) {
 	files := screen.WriteShards(preds, c.man.Config.Shards)
 	names := make([]string, 0, len(files))
 	for si, f := range files {
-		rel := filepath.Join(shardDirName, fmt.Sprintf("%s_s%02d.h5l", u.ID, si))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("%s_s%02d.h5l", u.ID, si)
+		if epoch > 0 {
+			name = fmt.Sprintf("%s_e%03d_s%02d.h5l", u.ID, epoch, si)
+		}
+		rel := filepath.Join(shardDirName, name)
 		if err := writeShardFile(filepath.Join(c.dir, rel), f); err != nil {
 			return nil, err
+		}
+		if c.OnShardWrite != nil {
+			c.OnShardWrite(u.ID, rel)
 		}
 		names = append(names, rel)
 	}

@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the distributed-campaign machinery. Every
+// time-dependent decision — lease grants, heartbeat renewal, expiry,
+// coordinator and worker poll cadence — goes through an injected
+// Clock, so the fault-injection harness and the lease unit tests
+// drive the whole lease state machine deterministically with no
+// wall-time sleeps.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the clock's time once d
+	// has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// SystemClock is the wall clock; production coordinators and workers
+// run on it.
+type SystemClock struct{}
+
+// Now returns time.Now.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// After defers to time.After.
+func (SystemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually driven clock for tests. Time stands still
+// until Advance moves it; waiters registered through After fire when
+// the clock passes their deadline. In auto-advance mode every After
+// call immediately advances the clock by its own duration and fires,
+// so free-running coordinator/worker loops make progress as fast as
+// the scheduler runs them while virtual time — and therefore lease
+// expiry — stays causally ordered.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	auto    bool
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a FakeClock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake clock's current reading.
+func (f *FakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// SetAutoAdvance toggles auto-advance mode (see the type comment).
+func (f *FakeClock) SetAutoAdvance(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.auto = on
+}
+
+// After registers a waiter d past the current reading. In
+// auto-advance mode it advances the clock by d and fires immediately.
+func (f *FakeClock) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	ch := make(chan time.Time, 1)
+	if f.auto || d <= 0 {
+		if d > 0 {
+			f.now = f.now.Add(d)
+			f.fireLocked()
+		}
+		ch <- f.now
+		f.mu.Unlock()
+		if f.auto && d > 0 {
+			// Throttle free-running loops (heartbeats, polls) so an
+			// auto-advancing test doesn't spin a core at IO speed.
+			time.Sleep(200 * time.Microsecond)
+		}
+		return ch
+	}
+	f.waiters = append(f.waiters, fakeWaiter{at: f.now.Add(d), ch: ch})
+	f.mu.Unlock()
+	return ch
+}
+
+// Advance moves the clock forward by d and fires every waiter whose
+// deadline has passed.
+func (f *FakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	f.fireLocked()
+}
+
+func (f *FakeClock) fireLocked() {
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if w.at.After(f.now) {
+			kept = append(kept, w)
+		} else {
+			w.ch <- f.now
+		}
+	}
+	f.waiters = kept
+}

@@ -1,0 +1,111 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"deepfusion/internal/campaign"
+	"deepfusion/internal/cluster"
+)
+
+// Coordinator drives a distributed campaign: it owns the manifest,
+// folds worker claims and result acks into it on every pass, expires
+// stale leases (reassigning dead workers' in-flight units), and
+// finalizes the campaign once every unit is done. It executes no
+// units itself.
+type Coordinator struct {
+	// Camp is the coordinator's campaign handle (campaign.New or
+	// campaign.Load) — the single manifest writer of the run.
+	Camp *campaign.Campaign
+	// Clock drives lease expiry and the sync cadence. Nil means the
+	// system clock.
+	Clock campaign.Clock
+	// Lease sets the TTL workers are held to. Zero-valued means
+	// defaults.
+	Lease campaign.LeaseOptions
+	// Poll is the sync cadence. Zero means 500ms.
+	Poll time.Duration
+	// OnSync is an optional per-pass observer (progress printing).
+	OnSync func(campaign.SyncReport)
+
+	spans         []cluster.UnitSpan
+	reassignments int
+}
+
+func (co *Coordinator) clock() campaign.Clock {
+	if co.Clock == nil {
+		return campaign.SystemClock{}
+	}
+	return co.Clock
+}
+
+func (co *Coordinator) poll() time.Duration {
+	if co.Poll > 0 {
+		return co.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+// targetOf maps completed units back to their target for run stats.
+func targetOf(unitID string, units []campaign.UnitRecord) string {
+	for i := range units {
+		if units[i].ID == unitID {
+			return units[i].Target
+		}
+	}
+	return ""
+}
+
+// Run prepares the store, then syncs until the campaign settles:
+// every unit done → finalize and return the campaign result; some
+// units failed with none left runnable → error (a fresh run grants
+// new retry budgets); context cancelled → ErrInterrupted, with the
+// manifest holding the resume point exactly as in the single-process
+// orchestrator.
+func (co *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
+	if err := co.Camp.PrepareDispatch(); err != nil {
+		return nil, err
+	}
+	units := co.Camp.Units()
+	for {
+		rep, err := co.Camp.SyncDispatch(co.clock().Now(), co.Lease)
+		if err != nil {
+			return nil, err
+		}
+		co.reassignments += len(rep.Reassigned)
+		for _, rec := range rep.Completed {
+			if rec.Err != "" {
+				continue
+			}
+			co.spans = append(co.spans, cluster.UnitSpan{
+				Worker: rec.Worker,
+				Target: targetOf(rec.Unit, units),
+				Start:  rec.Started,
+				End:    rec.Finished,
+				Poses:  rec.Poses,
+			})
+		}
+		if co.OnSync != nil {
+			co.OnSync(rep)
+		}
+		if rep.AllDone {
+			return co.Camp.Finalize()
+		}
+		if rep.AllSettled {
+			return nil, fmt.Errorf("dispatch: %d unit(s) failed and no workers can retry them this run; rerun to grant a fresh budget", rep.Failed)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w (coordinator stopped)", campaign.ErrInterrupted)
+		case <-co.clock().After(co.poll()):
+		}
+	}
+}
+
+// RunStats aggregates the completed-unit spans the coordinator
+// observed into the real-run counterpart of the cluster simulator's
+// PlanResult.
+func (co *Coordinator) RunStats() cluster.RunStats {
+	return cluster.CollectRun(co.spans, co.reassignments)
+}

@@ -1,0 +1,110 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"deepfusion/internal/campaign"
+)
+
+// StartWorkerProcess forks one worker as a real OS process: `exe
+// args...` with stdout/stderr inherited. The child is expected to run
+// the worker loop against the shared campaign directory (cmd/campaign
+// exposes it as the `worker` subcommand) and exit 0 when the campaign
+// settles. The returned Cmd has been started.
+func StartWorkerProcess(ctx context.Context, exe string, args ...string) (*exec.Cmd, error) {
+	cmd := exec.CommandContext(ctx, exe, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dispatch: start worker %v: %w", args, err)
+	}
+	return cmd, nil
+}
+
+// RunProcesses runs a full distributed campaign on this host: the
+// coordinator in-process, plus n forked worker processes launched via
+// workerArgs(i). Workers exit on their own once every unit settles;
+// if the coordinator stops first (error or interrupt), the context
+// handed to the workers is cancelled so they die promptly and their
+// leases expire for the next run. With n == 0 the coordinator runs
+// alone and units are executed by externally attached workers
+// (`campaign worker -dir DIR` on any host sharing the directory).
+func RunProcesses(ctx context.Context, co *Coordinator, n int, exe string, workerArgs func(i int) []string) (*campaign.Result, error) {
+	wctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cmd, err := StartWorkerProcess(wctx, exe, workerArgs(i)...)
+		if err != nil {
+			stopWorkers()
+			wg.Wait()
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Worker exit is reported through the manifest (units it
+			// acked) and lease expiry (units it did not); a non-zero
+			// exit here needs no extra handling.
+			_ = cmd.Wait()
+		}()
+	}
+	res, err := co.Run(ctx)
+	stopWorkers()
+	wg.Wait()
+	return res, err
+}
+
+// RunLocal runs a distributed campaign entirely in-process: a
+// coordinator plus n worker goroutines, each with its own Attach
+// handle semantics collapsed onto the shared campaign handle. It is
+// the no-fork path (and the shape the chaos harness drives with
+// separate handles per worker to model real process isolation).
+func RunLocal(ctx context.Context, co *Coordinator, n int, newWorker func(i int) *Worker) (*campaign.Result, error) {
+	wctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := newWorker(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(wctx)
+		}()
+	}
+	res, err := co.Run(ctx)
+	stopWorkers()
+	wg.Wait()
+	return res, err
+}
+
+// WorkerID formats the conventional ID for the i-th forked worker.
+func WorkerID(i int) string { return fmt.Sprintf("w%02d", i+1) }
+
+// WaitSettle is a small helper for tests and attach-only topologies:
+// it polls the cheap manifest status until the campaign settles or
+// the deadline passes.
+func WaitSettle(dir string, clock campaign.Clock, poll, deadline time.Duration) (campaign.Status, error) {
+	if clock == nil {
+		clock = campaign.SystemClock{}
+	}
+	limit := clock.Now().Add(deadline)
+	for {
+		st, err := campaign.ReadStatus(dir)
+		if err != nil {
+			return st, err
+		}
+		if st.Done+st.Failed == st.Total {
+			return st, nil
+		}
+		if clock.Now().After(limit) {
+			return st, fmt.Errorf("dispatch: campaign did not settle within %v (%d/%d done)", deadline, st.Done, st.Total)
+		}
+		<-clock.After(poll)
+	}
+}

@@ -1,0 +1,214 @@
+// Package dispatch is the distributed campaign runtime: the
+// coordinator and worker halves of the multi-process orchestrator
+// that turns cluster.SimulatePlan's simulated ~125-jobs-in-flight
+// regime into real processes. Workers claim (target, chunk) work
+// units through the campaign package's lease-aware manifest store,
+// heartbeat while they hold them, and ack completion with
+// epoch-fenced result records; the coordinator folds claims and acks
+// into the manifest, reassigns dead workers' units when their leases
+// expire, and finalizes — with the same byte-identical kill/resume
+// guarantee the single-process orchestrator pins, now across process
+// boundaries.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"deepfusion/internal/campaign"
+)
+
+// EventKind tags the worker lifecycle points the fault-injection
+// harness hooks.
+type EventKind string
+
+// Worker lifecycle events, in per-unit order.
+const (
+	EventClaimed   EventKind = "claimed"    // lease acquired, execution about to start
+	EventExecuted  EventKind = "executed"   // unit executed, shards on disk, ack not yet written
+	EventAcked     EventKind = "acked"      // completion (or failure) ack written
+	EventLeaseLost EventKind = "lease-lost" // heartbeat discovered the lease was fenced
+)
+
+// Event is one worker lifecycle observation.
+type Event struct {
+	Kind   EventKind
+	Worker string
+	Unit   string
+	Epoch  int
+}
+
+// Worker runs the claim → execute → ack loop of one worker process.
+// It owns no campaign state: the manifest is read through the store,
+// units are executed through a read-only campaign.Attach handle, and
+// every durable write (claim, heartbeat, shard, ack) goes through the
+// store's atomic file protocol.
+type Worker struct {
+	// ID names the worker in claims and the manifest's liveness
+	// table. Empty means "host-pid".
+	ID string
+	// Camp is the read-only campaign handle (campaign.Attach).
+	Camp *campaign.Campaign
+	// Store is the lease store (campaign.NewDispatchStore on the same
+	// directory, or a future multi-host backend).
+	Store *campaign.DispatchStore
+	// Clock drives heartbeats and claim-retry polling. Nil means the
+	// system clock.
+	Clock campaign.Clock
+	// Lease sets the heartbeat cadence (must match the coordinator's
+	// TTL regime). Zero-valued means defaults.
+	Lease campaign.LeaseOptions
+	// Poll is the claim-retry cadence while every unfinished unit is
+	// leased elsewhere. Zero means one second.
+	Poll time.Duration
+	// OnEvent is an optional lifecycle observer; the chaos harness
+	// uses it to kill workers at precise protocol points.
+	OnEvent func(Event)
+}
+
+func (w *Worker) id() string {
+	if w.ID != "" {
+		return w.ID
+	}
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func (w *Worker) clock() campaign.Clock {
+	if w.Clock == nil {
+		return campaign.SystemClock{}
+	}
+	return w.Clock
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return time.Second
+}
+
+func (w *Worker) event(kind EventKind, unit string, epoch int) {
+	if w.OnEvent != nil {
+		w.OnEvent(Event{Kind: kind, Worker: w.id(), Unit: unit, Epoch: epoch})
+	}
+}
+
+// Run claims and executes units until the campaign settles (every
+// unit done or failed), the context is cancelled, or an
+// infrastructure error occurs. Returning nil means there is nothing
+// left for this worker to do.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		claim, unit, err := w.Store.Claim(w.id())
+		if errors.Is(err, campaign.ErrAllDone) {
+			return nil
+		}
+		if errors.Is(err, campaign.ErrNoWork) {
+			// Everything unfinished is leased elsewhere; poll until a
+			// unit frees up (completion or lease expiry) or the
+			// campaign settles.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-w.clock().After(w.poll()):
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.runClaim(ctx, claim, unit); err != nil {
+			return err
+		}
+	}
+}
+
+// runClaim executes one claimed unit under a heartbeat, then acks it.
+// A lease lost mid-execution cancels the unit's context (the fenced
+// worker stops burning compute) and is not an error — the worker just
+// moves to the next claim. A parent-context cancellation mid-unit
+// abandons the claim without an ack; the lease expires and the
+// coordinator reassigns.
+func (w *Worker) runClaim(ctx context.Context, claim *campaign.ClaimRecord, unit *campaign.UnitRecord) error {
+	w.event(EventClaimed, claim.Unit, claim.Epoch)
+	uctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	lease := w.Lease
+	hbEvery := lease.TTL / 4
+	if lease.Heartbeat > 0 {
+		hbEvery = lease.Heartbeat
+	}
+	if hbEvery <= 0 {
+		hbEvery = campaign.DefaultLeaseOptions().TTL / 4
+	}
+	lost := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		for {
+			select {
+			case <-uctx.Done():
+				return
+			case <-w.clock().After(hbEvery):
+				err := w.Store.Heartbeat(claim)
+				if errors.Is(err, campaign.ErrLeaseLost) {
+					w.event(EventLeaseLost, claim.Unit, claim.Epoch)
+					close(lost)
+					cancel()
+					return
+				}
+				// Transient store errors (a manifest mid-replace on a
+				// network filesystem) are absorbed; the next beat
+				// retries well within the TTL.
+			}
+		}
+	}()
+
+	out, execErr := w.Camp.ExecuteUnit(uctx, *unit, claim.Epoch)
+	cancel()
+	<-hbDone
+
+	leaseLost := false
+	select {
+	case <-lost:
+		leaseLost = true
+	default:
+	}
+
+	switch {
+	case execErr == nil:
+		w.event(EventExecuted, claim.Unit, claim.Epoch)
+		if err := ctx.Err(); err != nil {
+			return err // killed post-write-pre-ack: never ack, let the lease expire
+		}
+		if err := w.Store.Complete(claim, out); err != nil && !errors.Is(err, campaign.ErrLeaseLost) {
+			return err
+		}
+		w.event(EventAcked, claim.Unit, claim.Epoch)
+		return nil
+	case errors.Is(execErr, campaign.ErrUnitFailed):
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := w.Store.Fail(claim, out, execErr); err != nil && !errors.Is(err, campaign.ErrLeaseLost) {
+			return err
+		}
+		w.event(EventAcked, claim.Unit, claim.Epoch)
+		return nil
+	case leaseLost && ctx.Err() == nil:
+		// Fenced mid-unit: abandon and claim something else.
+		return nil
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		return execErr
+	}
+}

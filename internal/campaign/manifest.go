@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // UnitState is the lifecycle of one work unit in the manifest.
@@ -37,6 +38,27 @@ type UnitRecord struct {
 	Poses    int       `json:"poses"`    // docked poses scored (done units)
 	Skipped  int       `json:"skipped"`  // compounds that failed prep/docking
 	Shards   []string  `json:"shards"`   // shard filenames relative to the campaign dir
+	// Epoch is the unit's claim generation in a distributed run. Each
+	// lease-expiry reassignment bumps it; claim files and result acks
+	// are epoch-named, so artifacts from a fenced (zombie) worker can
+	// never be confused with the current owner's. Single-process runs
+	// leave it at 0.
+	Epoch int `json:"epoch,omitempty"`
+	// Worker is the worker holding (in-flight) or last holding (done/
+	// failed) the unit's lease in a distributed run.
+	Worker string `json:"worker,omitempty"`
+}
+
+// WorkerRecord is the manifest's durable liveness and throughput
+// record for one distributed worker, folded from its claim heartbeats
+// and result acks by the coordinator.
+type WorkerRecord struct {
+	ID        string    `json:"id"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastBeat  time.Time `json:"last_heartbeat"`
+	Leases    []string  `json:"leases,omitempty"` // unit IDs currently held
+	UnitsDone int       `json:"units_done"`
+	PosesDone int       `json:"poses_done"`
 }
 
 // SelectionRecord is one selected compound in the finalized campaign:
@@ -70,6 +92,11 @@ type Manifest struct {
 	Units      []UnitRecord                 `json:"units"`
 	Finalized  bool                         `json:"finalized"`
 	Selections map[string][]SelectionRecord `json:"selections,omitempty"`
+	// Workers and Reassignments are maintained by the distributed
+	// coordinator: per-worker liveness/throughput, and the number of
+	// lease-expiry reassignments over the campaign's lifetime.
+	Workers       map[string]*WorkerRecord `json:"workers,omitempty"`
+	Reassignments int                      `json:"reassignments,omitempty"`
 }
 
 const (
@@ -145,36 +172,70 @@ type TargetStatus struct {
 	Poses  int
 }
 
+// WorkerStatus summarizes one distributed worker's liveness from the
+// manifest: when it last proved itself alive, what it holds, and its
+// completed-unit throughput.
+type WorkerStatus struct {
+	ID        string
+	FirstSeen time.Time
+	LastBeat  time.Time
+	Leases    []string
+	UnitsDone int
+	PosesDone int
+	// UnitsPerSec is UnitsDone over the worker's observed lifetime
+	// (first claim to last heartbeat) — derived purely from the
+	// manifest, so `campaign status` needs no live connection.
+	UnitsPerSec float64
+}
+
 // Status is a point-in-time campaign summary derived from the
 // manifest.
 type Status struct {
-	Name      string
-	Dir       string
-	DeckSize  int
-	Scorers   []string // the manifest's recorded scorer set, primary first
-	Precision string   // the manifest's recorded engine precision ("f64"/"f32")
-	Done      int
-	InFlight  int
-	Pending   int
-	Failed    int
-	Total     int
-	Poses     int
-	Finalized bool
-	PerTarget []TargetStatus
+	Name          string
+	Dir           string
+	DeckSize      int
+	Scorers       []string // the manifest's recorded scorer set, primary first
+	Precision     string   // the manifest's recorded engine precision ("f64"/"f32")
+	Done          int
+	InFlight      int
+	Pending       int
+	Failed        int
+	Total         int
+	Poses         int
+	Finalized     bool
+	Reassignments int // lease-expiry reassignments (distributed runs)
+	PerTarget     []TargetStatus
+	Workers       []WorkerStatus // distributed workers, sorted by ID
 }
 
 // status folds the manifest's unit grid into per-state and per-target
 // counts.
 func (m *Manifest) status(dir string) Status {
 	s := Status{
-		Name:      m.Name,
-		Dir:       dir,
-		DeckSize:  m.DeckSize,
-		Scorers:   m.Config.Scorers,
-		Precision: string(m.Config.Job.Precision.Normalize()),
-		Total:     len(m.Units),
-		Finalized: m.Finalized,
+		Name:          m.Name,
+		Dir:           dir,
+		DeckSize:      m.DeckSize,
+		Scorers:       m.Config.Scorers,
+		Precision:     string(m.Config.Job.Precision.Normalize()),
+		Total:         len(m.Units),
+		Finalized:     m.Finalized,
+		Reassignments: m.Reassignments,
 	}
+	for _, w := range m.Workers {
+		ws := WorkerStatus{
+			ID:        w.ID,
+			FirstSeen: w.FirstSeen,
+			LastBeat:  w.LastBeat,
+			Leases:    w.Leases,
+			UnitsDone: w.UnitsDone,
+			PosesDone: w.PosesDone,
+		}
+		if life := w.LastBeat.Sub(w.FirstSeen); life > 0 && w.UnitsDone > 0 {
+			ws.UnitsPerSec = float64(w.UnitsDone) / life.Seconds()
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	sort.Slice(s.Workers, func(a, b int) bool { return s.Workers[a].ID < s.Workers[b].ID })
 	byTarget := map[string]*TargetStatus{}
 	var order []string
 	for _, u := range m.Units {

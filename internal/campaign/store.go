@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+)
+
+// DispatchStore is a worker process's handle on the shared
+// lease-aware manifest store. Today the store is the campaign
+// directory on a shared filesystem; the store API is the RPC seam —
+// a multi-host backend (an HTTP coordinator, an object store)
+// replaces this implementation without touching the worker loop.
+//
+// A store never writes the manifest. It reads it for the unit grid
+// and current claim epochs, and writes only worker-owned files:
+// claim files (exclusive create), heartbeat renewals, and result
+// acks.
+type DispatchStore struct {
+	dir   string
+	clock Clock
+}
+
+// NewDispatchStore opens the filesystem store backing a campaign
+// directory. A nil clock means the system clock.
+func NewDispatchStore(dir string, clock Clock) *DispatchStore {
+	if clock == nil {
+		clock = SystemClock{}
+	}
+	return &DispatchStore{dir: dir, clock: clock}
+}
+
+// Dir returns the campaign directory the store is backed by.
+func (s *DispatchStore) Dir() string { return s.dir }
+
+// Claim leases the first unfinished, unclaimed unit to workerID and
+// returns the claim plus the unit's manifest record. The exclusive
+// creation of the claim file is the atomic test-and-set: of N workers
+// racing for one unit, exactly one wins; the rest move to the next
+// unit. Returns ErrNoWork when every unfinished unit is currently
+// leased, ErrAllDone when none are unfinished.
+func (s *DispatchStore) Claim(workerID string) (*ClaimRecord, *UnitRecord, error) {
+	man, err := loadManifest(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	unfinished := 0
+	for i := range man.Units {
+		u := man.Units[i]
+		if u.State == UnitDone || u.State == UnitFailed {
+			continue
+		}
+		unfinished++
+		now := s.clock.Now()
+		rec := ClaimRecord{Unit: u.ID, Epoch: u.Epoch, Worker: workerID, Granted: now, Heartbeat: now}
+		err := createExclusiveJSON(claimPath(s.dir, u.ID, u.Epoch), rec)
+		if errors.Is(err, fs.ErrExist) {
+			continue // leased by someone (possibly a tombstone awaiting expiry)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("campaign: claim %s: %w", u.ID, err)
+		}
+		return &rec, &u, nil
+	}
+	if unfinished == 0 {
+		return nil, nil, ErrAllDone
+	}
+	return nil, nil, ErrNoWork
+}
+
+// Heartbeat renews the claim's lease by atomically rewriting its
+// claim file with a fresh timestamp. It first checks the manifest's
+// current epoch for the unit: if the coordinator has already fenced
+// this claim (lease expired, unit reassigned), it returns
+// ErrLeaseLost so the worker stops spending compute on a unit it no
+// longer owns. The check is advisory — the authoritative fence is the
+// coordinator's epoch comparison at fold time.
+func (s *DispatchStore) Heartbeat(c *ClaimRecord) error {
+	if fenced, err := s.fenced(c); err != nil {
+		return err
+	} else if fenced {
+		return ErrLeaseLost
+	}
+	c.Heartbeat = s.clock.Now()
+	return writeJSONAtomic(claimPath(s.dir, c.Unit, c.Epoch), *c)
+}
+
+// Complete acks a finished unit: the result record is written
+// atomically under the claim's epoch, then the manifest is consulted
+// — if the claim was fenced while the worker was finishing, Complete
+// returns ErrLeaseLost. The record is written regardless: acks are
+// always epoch-named, and the coordinator folds only the record
+// matching the unit's current epoch, so a zombie's late ack is
+// ignored rather than double-counted.
+func (s *DispatchStore) Complete(c *ClaimRecord, out UnitOutcome) error {
+	rec := ResultRecord{
+		Unit:     c.Unit,
+		Epoch:    c.Epoch,
+		Worker:   c.Worker,
+		Poses:    out.Poses,
+		Skipped:  out.Skipped,
+		Attempts: out.Attempts,
+		Shards:   out.Shards,
+		Started:  c.Granted,
+		Finished: s.clock.Now(),
+	}
+	if err := writeJSONAtomic(resultPath(s.dir, c.Unit, c.Epoch), rec); err != nil {
+		return err
+	}
+	if fenced, err := s.fenced(c); err == nil && fenced {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// Fail acks a unit that exhausted its retry budget, recording the
+// attempts consumed so the next run's failure-injection seeds
+// advance. Epoch fencing works exactly as in Complete.
+func (s *DispatchStore) Fail(c *ClaimRecord, out UnitOutcome, unitErr error) error {
+	rec := ResultRecord{
+		Unit:     c.Unit,
+		Epoch:    c.Epoch,
+		Worker:   c.Worker,
+		Attempts: out.Attempts,
+		Started:  c.Granted,
+		Finished: s.clock.Now(),
+		Err:      unitErr.Error(),
+	}
+	if err := writeJSONAtomic(resultPath(s.dir, c.Unit, c.Epoch), rec); err != nil {
+		return err
+	}
+	if fenced, err := s.fenced(c); err == nil && fenced {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// fenced reports whether the manifest's epoch for the claim's unit
+// has moved past the claim.
+func (s *DispatchStore) fenced(c *ClaimRecord) (bool, error) {
+	man, err := loadManifest(s.dir)
+	if err != nil {
+		return false, err
+	}
+	for i := range man.Units {
+		if man.Units[i].ID == c.Unit {
+			return man.Units[i].Epoch > c.Epoch, nil
+		}
+	}
+	return false, fmt.Errorf("campaign: claim for unknown unit %s", c.Unit)
+}

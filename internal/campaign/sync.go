@@ -1,0 +1,234 @@
+package campaign
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"time"
+)
+
+// SyncReport summarizes one coordinator pass over the claim and
+// result files.
+type SyncReport struct {
+	Done     int
+	Failed   int
+	InFlight int
+	Pending  int
+	// Reassigned lists units whose lease expired this pass; each was
+	// fenced (epoch bumped) and returned to pending.
+	Reassigned []string
+	// Completed holds the result records folded into the manifest
+	// this pass — the coordinator's feed for real-run statistics.
+	Completed []ResultRecord
+	// AllDone: every unit is done (the campaign can finalize).
+	AllDone bool
+	// AllSettled: every unit is done or failed (nothing left for
+	// workers; a failed campaign needs a fresh run to retry).
+	AllSettled bool
+}
+
+// syncDispatch folds the store's claim and result files into the
+// manifest's unit grid, in memory:
+//
+//   - A unit's authoritative epoch is the largest of its manifest
+//     epoch and any claim/result file epoch on disk (a restarted
+//     coordinator adopts the claims a previous incarnation granted).
+//   - A result record at the unit's current epoch retires the unit
+//     (done, or failed when the record carries an error). Records at
+//     older epochs are zombie acks and are ignored — the epoch fence.
+//   - A claim at the current epoch keeps the unit in-flight while its
+//     heartbeat is fresher than the lease TTL; once the heartbeat
+//     goes stale the unit's epoch is bumped (fencing the dead
+//     worker's claim file into a tombstone) and the unit returns to
+//     pending for the next claimer. The bump target is one past the
+//     largest epoch observed on disk, so the fresh epoch's claim file
+//     cannot already exist.
+//   - Worker liveness (last heartbeat, held leases, units/poses
+//     completed) is folded into the manifest's worker table.
+//
+// Returns the report and whether the manifest changed.
+func syncDispatch(dir string, man *Manifest, now time.Time, lease LeaseOptions) (SyncReport, bool, error) {
+	lease = lease.withDefaults()
+	var rep SyncReport
+	claims, err := readClaimFiles(dir)
+	if err != nil {
+		return rep, false, fmt.Errorf("campaign: read claims: %w", err)
+	}
+	results, err := readResultFiles(dir)
+	if err != nil {
+		return rep, false, fmt.Errorf("campaign: read results: %w", err)
+	}
+	changed := false
+	workerFor := func(id string, seen time.Time) *WorkerRecord {
+		if man.Workers == nil {
+			man.Workers = map[string]*WorkerRecord{}
+		}
+		w, ok := man.Workers[id]
+		if !ok {
+			w = &WorkerRecord{ID: id, FirstSeen: seen, LastBeat: seen}
+			man.Workers[id] = w
+			changed = true
+		}
+		return w
+	}
+	// Leases are recomputed from live claims every pass, then compared
+	// against the manifest's worker table so an unchanged lease set
+	// doesn't force a manifest rewrite.
+	leases := map[string][]string{}
+	for i := range man.Units {
+		u := &man.Units[i]
+		switch u.State {
+		case UnitDone:
+			rep.Done++
+			continue
+		case UnitFailed:
+			rep.Failed++
+			continue
+		}
+		e := u.Epoch
+		if me := maxEpoch(claims[u.ID]); me > e {
+			e = me
+		}
+		if me := maxEpoch(results[u.ID]); me > e {
+			e = me
+		}
+		if e != u.Epoch {
+			u.Epoch = e
+			changed = true
+		}
+		if rec, ok := results[u.ID][e]; ok {
+			u.Attempts += rec.Attempts
+			u.Worker = rec.Worker
+			w := workerFor(rec.Worker, rec.Started)
+			if rec.Finished.After(w.LastBeat) {
+				w.LastBeat = rec.Finished
+			}
+			if rec.Err != "" {
+				u.State = UnitFailed
+				rep.Failed++
+			} else {
+				u.State = UnitDone
+				u.Poses = rec.Poses
+				u.Skipped = rec.Skipped
+				u.Shards = rec.Shards
+				w.UnitsDone++
+				w.PosesDone += rec.Poses
+				rep.Done++
+			}
+			rep.Completed = append(rep.Completed, rec)
+			changed = true
+			continue
+		}
+		if cl, ok := claims[u.ID][e]; ok {
+			w := workerFor(cl.Worker, cl.Granted)
+			if cl.Granted.Before(w.FirstSeen) {
+				w.FirstSeen = cl.Granted
+				changed = true
+			}
+			if cl.Heartbeat.After(w.LastBeat) {
+				w.LastBeat = cl.Heartbeat
+				changed = true
+			}
+			if now.Sub(cl.Heartbeat) > lease.TTL {
+				// Lease expired: fence the claim and reassign. e is
+				// the largest epoch on disk for this unit, so e+1 is
+				// guaranteed unclaimed.
+				u.Epoch = e + 1
+				u.State = UnitPending
+				u.Worker = ""
+				man.Reassignments++
+				rep.Reassigned = append(rep.Reassigned, u.ID)
+				rep.Pending++
+				changed = true
+				continue
+			}
+			leases[cl.Worker] = append(leases[cl.Worker], u.ID)
+			if u.State != UnitInFlight || u.Worker != cl.Worker {
+				u.State = UnitInFlight
+				u.Worker = cl.Worker
+				changed = true
+			}
+			rep.InFlight++
+			continue
+		}
+		if u.State != UnitPending {
+			u.State = UnitPending
+			changed = true
+		}
+		rep.Pending++
+	}
+	for id, w := range man.Workers {
+		held := leases[id]
+		sort.Strings(held)
+		if !slices.Equal(w.Leases, held) {
+			w.Leases = held
+			changed = true
+		}
+	}
+	total := len(man.Units)
+	rep.AllDone = rep.Done == total
+	rep.AllSettled = rep.Done+rep.Failed == total
+	return rep, changed, nil
+}
+
+// SyncDispatch runs one coordinator pass: fold claims and results
+// into the manifest, expire stale leases, and persist the manifest if
+// anything changed. The coordinator is the only manifest writer in a
+// distributed campaign, so workers always read a consistent view.
+func (c *Campaign) SyncDispatch(now time.Time, lease LeaseOptions) (SyncReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, changed, err := syncDispatch(c.dir, c.man, now, lease)
+	if err != nil {
+		return rep, err
+	}
+	if changed {
+		if err := saveManifest(c.dir, c.man); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// PrepareDispatch readies a campaign directory for a distributed run:
+// the claim and result directories are created, and units that failed
+// a previous run are returned to pending at a fresh epoch — past any
+// claim or result file on disk — granting them a fresh retry budget
+// exactly like a single-process resume does.
+func (c *Campaign) PrepareDispatch() error {
+	if err := ensureDispatchDirs(c.dir); err != nil {
+		return err
+	}
+	claims, err := readClaimFiles(c.dir)
+	if err != nil {
+		return err
+	}
+	results, err := readResultFiles(c.dir)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	for i := range c.man.Units {
+		u := &c.man.Units[i]
+		if u.State != UnitFailed {
+			continue
+		}
+		e := u.Epoch
+		if me := maxEpoch(claims[u.ID]); me > e {
+			e = me
+		}
+		if me := maxEpoch(results[u.ID]); me > e {
+			e = me
+		}
+		u.Epoch = e + 1
+		u.State = UnitPending
+		u.Worker = ""
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return saveManifest(c.dir, c.man)
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// UnitSpan is one completed work unit of a REAL distributed campaign
+// run — the measured counterpart of the simulator's PlanJob. The
+// distributed coordinator records one span per folded completion ack
+// (start = lease grant, end = ack).
+type UnitSpan struct {
+	Worker string
+	Target string
+	Start  time.Time
+	End    time.Time
+	Poses  int
+}
+
+// WorkerRunStats aggregates one worker's completed units.
+type WorkerRunStats struct {
+	Worker string
+	Units  int
+	Poses  int
+	Busy   time.Duration // summed span durations
+}
+
+// RunStats aggregates real unit spans into the same campaign-level
+// quantities SimulatePlan reports for a synthetic plan — makespan,
+// poses scored, peak concurrency, resubmission drag — so a real
+// distributed run and its paper-scale simulation are directly
+// comparable.
+type RunStats struct {
+	Makespan      time.Duration
+	PosesScored   int
+	Units         int
+	PeakUnits     int // max units in flight at once (the real ~125-jobs regime analogue)
+	Reassignments int // lease-expiry reassignments (the real resubmission analogue)
+	PerWorker     []WorkerRunStats
+}
+
+// PosesPerSecond returns the run's aggregate throughput.
+func (r RunStats) PosesPerSecond() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.PosesScored) / r.Makespan.Seconds()
+}
+
+// CollectRun folds completed-unit spans into run statistics. Peak
+// concurrency is computed with a sweep over span boundaries (starts
+// before ends at equal instants, matching how a job that begins the
+// moment another acks still overlapped it on the wire).
+func CollectRun(spans []UnitSpan, reassignments int) RunStats {
+	stats := RunStats{Units: len(spans), Reassignments: reassignments}
+	if len(spans) == 0 {
+		return stats
+	}
+	var t0, t1 time.Time
+	type boundary struct {
+		at    time.Time
+		delta int
+	}
+	var bounds []boundary
+	perWorker := map[string]*WorkerRunStats{}
+	var order []string
+	for i, s := range spans {
+		stats.PosesScored += s.Poses
+		if i == 0 || s.Start.Before(t0) {
+			t0 = s.Start
+		}
+		if i == 0 || s.End.After(t1) {
+			t1 = s.End
+		}
+		bounds = append(bounds, boundary{s.Start, +1}, boundary{s.End, -1})
+		w, ok := perWorker[s.Worker]
+		if !ok {
+			w = &WorkerRunStats{Worker: s.Worker}
+			perWorker[s.Worker] = w
+			order = append(order, s.Worker)
+		}
+		w.Units++
+		w.Poses += s.Poses
+		w.Busy += s.End.Sub(s.Start)
+	}
+	stats.Makespan = t1.Sub(t0)
+	sort.Slice(bounds, func(a, b int) bool {
+		if !bounds[a].at.Equal(bounds[b].at) {
+			return bounds[a].at.Before(bounds[b].at)
+		}
+		return bounds[a].delta > bounds[b].delta // starts before ends
+	})
+	cur := 0
+	for _, b := range bounds {
+		cur += b.delta
+		if cur > stats.PeakUnits {
+			stats.PeakUnits = cur
+		}
+	}
+	sort.Strings(order)
+	for _, id := range order {
+		stats.PerWorker = append(stats.PerWorker, *perWorker[id])
+	}
+	return stats
+}

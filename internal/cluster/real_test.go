@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestCollectRun pins the real-run aggregation: makespan across all
+// spans, boundary-sweep peak concurrency (starts ordered before ends
+// at equal instants), and per-worker totals sorted by worker ID.
+func TestCollectRun(t *testing.T) {
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	at := func(s int) time.Time { return t0.Add(time.Duration(s) * time.Second) }
+	spans := []UnitSpan{
+		{Worker: "w2", Target: "spike1", Start: at(5), End: at(15), Poses: 50},
+		{Worker: "w1", Target: "protease1", Start: at(0), End: at(10), Poses: 100},
+		// Starts the instant the first w1 span ends: the sweep orders
+		// the start before the end, so both overlap the w2 span at t=10.
+		{Worker: "w1", Target: "protease1", Start: at(10), End: at(20), Poses: 25},
+	}
+	rs := CollectRun(spans, 3)
+
+	if rs.Units != 3 || rs.PosesScored != 175 {
+		t.Fatalf("units/poses = %d/%d, want 3/175", rs.Units, rs.PosesScored)
+	}
+	if rs.Makespan != 20*time.Second {
+		t.Fatalf("makespan = %v, want 20s", rs.Makespan)
+	}
+	if rs.PeakUnits != 3 {
+		t.Fatalf("peak units = %d, want 3 (start-before-end at t=10)", rs.PeakUnits)
+	}
+	if rs.Reassignments != 3 {
+		t.Fatalf("reassignments = %d, want 3", rs.Reassignments)
+	}
+	if got := rs.PosesPerSecond(); math.Abs(got-175.0/20.0) > 1e-12 {
+		t.Fatalf("poses/s = %v, want 8.75", got)
+	}
+
+	if len(rs.PerWorker) != 2 || rs.PerWorker[0].Worker != "w1" || rs.PerWorker[1].Worker != "w2" {
+		t.Fatalf("per-worker = %+v, want [w1 w2] sorted", rs.PerWorker)
+	}
+	w1 := rs.PerWorker[0]
+	if w1.Units != 2 || w1.Poses != 125 || w1.Busy != 20*time.Second {
+		t.Fatalf("w1 = %+v, want 2 units / 125 poses / 20s busy", w1)
+	}
+}
+
+// TestCollectRunEmpty pins the degenerate cases: no spans yields zero
+// stats (but keeps the reassignment count), and zero makespan yields
+// zero throughput rather than a division blowup.
+func TestCollectRunEmpty(t *testing.T) {
+	rs := CollectRun(nil, 2)
+	if rs.Units != 0 || rs.PosesScored != 0 || rs.PeakUnits != 0 || rs.Makespan != 0 {
+		t.Fatalf("empty stats = %+v, want zeros", rs)
+	}
+	if rs.Reassignments != 2 {
+		t.Fatalf("reassignments = %d, want 2", rs.Reassignments)
+	}
+	if rs.PosesPerSecond() != 0 {
+		t.Fatalf("poses/s on empty run = %v, want 0", rs.PosesPerSecond())
+	}
+}
