@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test test-distributed vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-smoke clean
+.PHONY: all build verify test test-distributed test-serve vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-serve bench-smoke clean
 
 all: build
 
@@ -37,6 +37,13 @@ test:
 # themselves run on virtual time.
 test-distributed:
 	$(GO) test -race -timeout 10m ./internal/campaign/... ./internal/cluster/
+
+# Race-enabled pass over the screening service: the cross-request
+# batcher on the fake clock (deadline vs batch-full vs drain flushes,
+# exactly-once generations), admission control under saturation and
+# the HTTP round trip. Deterministic — no wall-clock sleeps.
+test-serve:
+	$(GO) test -race -timeout 10m ./internal/serve/
 
 # Tier-1 verification: build, vet, full test suite.
 verify: build vet test
@@ -69,6 +76,15 @@ bench-precision:
 	$(GO) test ./internal/tensor/ ./internal/fusion/ -run xxx -bench 'BenchmarkMatMulPacked|BenchmarkPredictBatchInto' -benchtime 1s | tee bench_precision.txt
 	$(GO) test ./internal/screen/ -run xxx -bench 'BenchmarkRunJobBatched' -benchtime 2s | tee -a bench_precision.txt
 
+# Screening-service trajectory: the warm engine behind the HTTP front
+# door vs the solo RunJob baseline on the same scorer and job shape
+# (cmd/benchreport/serve.go). Saturation throughput must hold >= 0.9x
+# RunJob; low-load p99 must stay under the 25ms batching deadline.
+# BENCH_8.json is the committed artifact; CI uploads a fresh copy.
+bench-serve:
+	$(GO) run ./cmd/benchreport -serve -json > BENCH_8.json
+	@echo "wrote BENCH_8.json"
+
 # Featurization microbenchmarks: Voxelize/BuildGraph per pose, cached
 # vs uncached, repro + paper grids (internal/featurize/bench_test.go).
 bench-featurize:
@@ -87,7 +103,7 @@ bench-report:
 bench-smoke:
 	BENCH_SCALE=smoke $(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-bench: bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report
+bench: bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-serve bench-report
 
 clean:
 	rm -f bench_screen.txt bench_consensus.txt bench_featurize.txt bench_precision.txt bench_report.json

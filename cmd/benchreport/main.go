@@ -27,8 +27,22 @@ func main() {
 	full := flag.Bool("full", false, "use the full benchmark budget (minutes) instead of the smoke budget")
 	asJSON := flag.Bool("json", false, "emit a JSON array of {experiment, text} records instead of plain text")
 	kernels := flag.Bool("kernels", false, "benchmark the engine's f64 reference vs f32 fast-path kernels (MatMulPacked, Conv3DForward, PredictBatch, RunJob) instead of the paper experiments")
+	serveBench := flag.Bool("serve", false, "benchmark the screening service (warm engine + cross-request batcher) against the solo RunJob baseline instead of the paper experiments")
 	flag.Parse()
 
+	if *serveBench {
+		rep := runServeReport()
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		printServeReport(rep)
+		return
+	}
 	if *kernels {
 		rep := runKernelReport()
 		if *asJSON {

@@ -1,0 +1,163 @@
+package main
+
+// The -serve mode records the screening service's performance
+// trajectory for PR 8: the warm engine behind the HTTP front door must
+// not give back the batched-engine throughput PR 6 bought. Three rows:
+//
+//   RunJob/f64            the batch-engine baseline (same job shape as
+//                         the BENCH_6 trajectory: 96 poses, 2 ranks,
+//                         2 loaders, batch 8 — 702 poses/s there)
+//   ServeSaturation       the service at saturation: 12 concurrent
+//                         8-pose submissions through the cross-request
+//                         batcher and two workers; the poses/s row
+//                         must hold >= 0.9x the RunJob baseline
+//   ServeLowLoad          sequential batch-sized submissions (no
+//                         queueing); the p99 request latency must stay
+//                         under the configured batching deadline
+//
+// `make bench-serve` archives the JSON form as BENCH_8.json.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/screen"
+	"deepfusion/internal/serve"
+	"deepfusion/internal/target"
+)
+
+// serveMaxWait is the batching deadline the service is benchmarked
+// at (the DefaultConfig production value). The low-load p99 row is
+// asserted against it.
+const serveMaxWait = 25 * time.Millisecond
+
+func runServeReport() kernelReport {
+	rep := kernelReport{
+		PR: 8,
+		Note: "screening service trajectory: warm engine + cross-request batcher vs the " +
+			"solo RunJob baseline on the same scorer, poses and batch shape; saturation " +
+			"throughput must hold >= 0.9x RunJob, low-load p99 must stay under the " +
+			fmt.Sprintf("%s batching deadline", serveMaxWait),
+		Speedups: map[string]float64{},
+	}
+
+	// Same scorer seeds and job shape as the BENCH_6 RunJob rows, so
+	// the poses/s columns chain across the committed artifacts.
+	cnn := fusion.NewCNN3D(fusion.DefaultCNN3DConfig(), 46)
+	sg := fusion.NewSGCNN(fusion.DefaultSGCNNConfig(), 47)
+	f := fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, 48)
+	poses := benchPoses(96)
+	o := screen.DefaultJobOptions()
+	o.Ranks = 2
+	o.LoadersPerRank = 2
+	o.BatchSize = 8
+	posesPerSec := func(ns float64) float64 { return float64(len(poses)) / (ns / 1e9) }
+
+	// A 2-way-concurrent job on a small CI host is scheduler-noise
+	// dominated; record the best of three (the stable floor) for both
+	// the baseline and the saturation row.
+	best := func(name string, fn func(b *testing.B)) benchRecord {
+		r := record(name, nil, fn)
+		for i := 0; i < 2; i++ {
+			if again := record(name, nil, fn); again.NsPerOp < r.NsPerOp {
+				r = again
+			}
+		}
+		r.Extra = map[string]float64{"poses/s": posesPerSec(r.NsPerOp)}
+		return r
+	}
+
+	baseline := best("RunJob/f64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := screen.RunJob(context.Background(), f, target.Protease1, poses, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	cfg := serve.DefaultConfig([]screen.Scorer{f})
+	cfg.Job = o // batch 8, same featurization, f64
+	cfg.Workers = o.Ranks
+	cfg.MaxWait = serveMaxWait
+	cfg.QueueDepth = 32 // 256-pose capacity: saturation never trips admission
+	engine, err := serve.NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer engine.Drain()
+
+	// Saturation: all 96 poses in flight at once as 12 batch-sized
+	// client submissions — every batch flushes on batch-full, both
+	// workers stay busy, and one op is the same 96-pose job RunJob
+	// scores above.
+	saturation := best("ServeSaturation", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reqs := make([]*serve.Request, 0, len(poses)/o.BatchSize)
+			for at := 0; at < len(poses); at += o.BatchSize {
+				r, err := engine.SubmitPoses("protease1", poses[at:at+o.BatchSize])
+				if err != nil {
+					b.Fatal(err)
+				}
+				reqs = append(reqs, r)
+			}
+			for _, r := range reqs {
+				<-r.Done()
+			}
+		}
+	})
+	rep.Benchmarks = append(rep.Benchmarks, baseline, saturation)
+	rep.Speedups["ServeVsRunJob"] = baseline.NsPerOp / saturation.NsPerOp
+
+	// Low load: one batch-sized submission at a time against a fresh
+	// engine (clean latency ring), each waited to completion before the
+	// next — request latency is pure scoring time plus dispatch
+	// overhead, and its p99 must sit under the batching deadline.
+	lowEngine, err := serve.NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer lowEngine.Drain()
+	const lowLoadReqs = 50
+	low := record("ServeLowLoad", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < lowLoadReqs; j++ {
+				at := (j * o.BatchSize) % len(poses)
+				r, err := lowEngine.SubmitPoses("protease1", poses[at:at+o.BatchSize])
+				if err != nil {
+					b.Fatal(err)
+				}
+				<-r.Done()
+			}
+		}
+	})
+	stats := lowEngine.Status().Stats
+	low.Extra = map[string]float64{
+		"p50_ms":      stats.P50LatencyMS,
+		"p99_ms":      stats.P99LatencyMS,
+		"max_wait_ms": float64(serveMaxWait) / float64(time.Millisecond),
+	}
+	rep.Benchmarks = append(rep.Benchmarks, low)
+	rep.Speedups["LowLoadP99VsDeadline"] = stats.P99LatencyMS / (float64(serveMaxWait) / float64(time.Millisecond))
+	return rep
+}
+
+func printServeReport(rep kernelReport) {
+	fmt.Printf("PR %d benchmark trajectory — %s\n\n", rep.PR, rep.Note)
+	fmt.Printf("%-20s %14s %14s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("%-20s %14.0f %14d %12d", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		for k, v := range r.Extra {
+			fmt.Printf("  %s=%.2f", k, v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("serve/runjob throughput ratio  %.2fx (floor 0.90x)\n", rep.Speedups["ServeVsRunJob"])
+	fmt.Printf("low-load p99 / deadline        %.2fx (must be < 1)\n", rep.Speedups["LowLoadP99VsDeadline"])
+}

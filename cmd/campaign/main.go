@@ -15,7 +15,7 @@
 //	campaign resume -dir DIR [-precision f64|f32] [-distributed]
 //	                [-workers N] [-lease-ttl D]
 //	campaign worker -dir DIR [-id ID] [-lease-ttl D]
-//	campaign status -dir DIR
+//	campaign status -dir DIR [-json]
 //
 // `run` creates the campaign (refusing to clobber an existing one),
 // builds the requested scorer set (training models at the requested
@@ -44,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -155,9 +156,8 @@ func cmdRun(args []string) {
 		cfg.ModelScale = "full"
 	}
 
-	names := strings.Split(*scorers, ",")
-	fmt.Printf("building scorer set %v (scale=%s)...\n", names, cfg.ModelScale)
-	set, err := experiments.ScorersByName(scaleOf(cfg.ModelScale), names)
+	fmt.Printf("building scorer set %q (scale=%s)...\n", *scorers, cfg.ModelScale)
+	set, err := experiments.ScorersFromSpec(scaleOf(cfg.ModelScale), *scorers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -324,6 +324,7 @@ func printRunStats(rs cluster.RunStats) {
 func cmdStatus(args []string) {
 	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign directory (required)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the human summary (one Status object; ops tooling and the serve /v1/status handler consume the same shape)")
 	fs.Parse(args)
 	if *dir == "" {
 		log.Fatal("status: -dir is required")
@@ -331,6 +332,14 @@ func cmdStatus(args []string) {
 	st, err := campaign.ReadStatus(*dir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	printStatus(st)
 }

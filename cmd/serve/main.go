@@ -1,0 +1,114 @@
+// Command serve runs the resident screening service: one warm engine
+// — scorers loaded once, per-target pocket prefeatures cached,
+// per-worker fusion workspaces hot — fronted by an HTTP+JSON API that
+// coalesces small client submissions into full inference batches.
+//
+// Usage:
+//
+//	serve -addr :8044 [-dir DIR] [-scorers a,b,c] [-precision f64|f32]
+//	      [-batch N] [-workers N] [-max-wait D] [-queue N]
+//	      [-max-targets N] [-max-poses N] [-seed N] [-full]
+//
+// Endpoints:
+//
+//	POST /v1/submit               {"target": ..., "compounds": [...]}
+//	GET  /v1/requests/{id}         request status
+//	GET  /v1/requests/{id}/results scores (?wait=1 long-polls)
+//	GET  /v1/status               engine + batcher statistics
+//	GET  /healthz                 liveness (503 while draining)
+//
+// SIGTERM/SIGINT drain gracefully: new submissions get 503, every
+// partial batch is flushed and scored, every in-flight request is
+// persisted (with -dir) before the listener closes. Overload returns
+// 429 with a Retry-After hint.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"deepfusion/internal/experiments"
+	"deepfusion/internal/screen"
+	"deepfusion/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+
+	addr := flag.String("addr", ":8044", "listen address")
+	dir := flag.String("dir", "", "persistence directory for request records + result shards (empty: in-memory only)")
+	scorers := flag.String("scorers", "coherent", "comma-separated scorer set, primary first: "+strings.Join(experiments.ScorerNames(), "|"))
+	precision := flag.String("precision", "f64", "engine arithmetic: f64 (reference) or f32 (fast path)")
+	batch := flag.Int("batch", 8, "poses per inference batch — the cross-request coalescing target")
+	workers := flag.Int("workers", 2, "concurrent scoring sessions")
+	maxWait := flag.Duration("max-wait", 25*time.Millisecond, "cross-request batching deadline: the longest a pose waits for co-batching")
+	queue := flag.Int("queue", 32, "admission bound, in full batches of admitted-but-unscored poses")
+	maxTargets := flag.Int("max-targets", 4, "per-target prefeature cache capacity (LRU beyond it)")
+	maxPoses := flag.Int("max-poses", 256, "largest accepted submission, in poses")
+	seed := flag.Int64("seed", 1, "docking seed for compound submissions")
+	full := flag.Bool("full", false, "train the scoring model at the full budget")
+	flag.Parse()
+
+	scale := experiments.Smoke
+	scaleName := "smoke"
+	if *full {
+		scale = experiments.Full
+		scaleName = "full"
+	}
+	fmt.Printf("building scorer set %q (scale=%s)...\n", *scorers, scaleName)
+	set, err := experiments.ScorersFromSpec(scale, *scorers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := serve.DefaultConfig(set)
+	cfg.Job.BatchSize = *batch
+	cfg.Job.Precision = screen.Precision(*precision)
+	cfg.Job.Seed = *seed
+	cfg.Workers = *workers
+	cfg.MaxWait = *maxWait
+	cfg.QueueDepth = *queue
+	cfg.MaxTargets = *maxTargets
+	cfg.MaxPosesPerRequest = *maxPoses
+	cfg.Dir = *dir
+
+	engine, err := serve.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.NewServer(engine, *addr)
+
+	// Graceful drain: first signal refuses new submissions, flushes
+	// partial batches, scores and persists everything admitted, then
+	// closes the listener. A second signal kills the process.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Println("\ndraining: refusing new submissions, scoring in-flight work...")
+		go func() {
+			<-sigs
+			log.Fatal("second signal: exiting without drain")
+		}()
+		if err := srv.Shutdown(context.Background()); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("screening service on %s (batch=%d, max-wait=%s, workers=%d, queue=%d batches)\n",
+		*addr, *batch, *maxWait, *workers, *queue)
+	if err := srv.HTTP.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}

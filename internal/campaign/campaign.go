@@ -681,7 +681,7 @@ func (c *Campaign) writeUnitShards(ctx context.Context, u UnitRecord, epoch int,
 			name = fmt.Sprintf("%s_e%03d_s%02d.h5l", u.ID, epoch, si)
 		}
 		rel := filepath.Join(shardDirName, name)
-		if err := writeShardFile(filepath.Join(c.dir, rel), f); err != nil {
+		if err := WriteShardFile(filepath.Join(c.dir, rel), f); err != nil {
 			return nil, err
 		}
 		if c.OnShardWrite != nil {
@@ -692,7 +692,10 @@ func (c *Campaign) writeUnitShards(ctx context.Context, u UnitRecord, epoch int,
 	return names, nil
 }
 
-func writeShardFile(path string, f *h5lite.File) error {
+// WriteShardFile atomically writes one prediction shard (temp-write +
+// fsync + rename): the durability primitive shared by campaign
+// finalize and the screening service's result store.
+func WriteShardFile(path string, f *h5lite.File) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err

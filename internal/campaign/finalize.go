@@ -101,7 +101,7 @@ func (c *Campaign) readTargetPredictions(units []UnitRecord, tgtName string) ([]
 			continue
 		}
 		for _, rel := range u.Shards {
-			f, err := readShardFile(filepath.Join(c.dir, rel))
+			f, err := ReadShardFile(filepath.Join(c.dir, rel))
 			if err != nil {
 				return nil, fmt.Errorf("campaign: unit %s: %w", u.ID, err)
 			}
@@ -171,7 +171,8 @@ func (c *Campaign) selectForTarget(cfg Config, tgtName string, preds []screen.Pr
 	return tr, nil
 }
 
-func readShardFile(path string) (*h5lite.File, error) {
+// ReadShardFile loads one prediction shard written by WriteShardFile.
+func ReadShardFile(path string) (*h5lite.File, error) {
 	r, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -176,9 +176,10 @@ func createExclusiveJSON(path string, v any) error {
 	return nil
 }
 
-// writeJSONAtomic atomically replaces path with v's JSON (temp-write
-// + rename) — the heartbeat-renewal and result-ack write primitive.
-func writeJSONAtomic(path string, v any) error {
+// WriteJSONAtomic atomically replaces path with v's JSON (temp-write
+// + rename) — the heartbeat-renewal and result-ack write primitive,
+// also reused by the screening service for request records.
+func WriteJSONAtomic(path string, v any) error {
 	tmp, err := writeJSONTemp(path, v)
 	if err != nil {
 		return err

@@ -164,48 +164,50 @@ func loadManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
-// TargetStatus summarizes one target's unit progress.
+// TargetStatus summarizes one target's unit progress. The JSON tags
+// are the stable machine-readable shape `campaign status -json` and
+// ops tooling consume.
 type TargetStatus struct {
-	Target string
-	Done   int
-	Total  int
-	Poses  int
+	Target string `json:"target"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Poses  int    `json:"poses"`
 }
 
 // WorkerStatus summarizes one distributed worker's liveness from the
 // manifest: when it last proved itself alive, what it holds, and its
 // completed-unit throughput.
 type WorkerStatus struct {
-	ID        string
-	FirstSeen time.Time
-	LastBeat  time.Time
-	Leases    []string
-	UnitsDone int
-	PosesDone int
+	ID        string    `json:"id"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastBeat  time.Time `json:"last_beat"`
+	Leases    []string  `json:"leases,omitempty"`
+	UnitsDone int       `json:"units_done"`
+	PosesDone int       `json:"poses_done"`
 	// UnitsPerSec is UnitsDone over the worker's observed lifetime
 	// (first claim to last heartbeat) — derived purely from the
 	// manifest, so `campaign status` needs no live connection.
-	UnitsPerSec float64
+	UnitsPerSec float64 `json:"units_per_sec"`
 }
 
 // Status is a point-in-time campaign summary derived from the
 // manifest.
 type Status struct {
-	Name          string
-	Dir           string
-	DeckSize      int
-	Scorers       []string // the manifest's recorded scorer set, primary first
-	Precision     string   // the manifest's recorded engine precision ("f64"/"f32")
-	Done          int
-	InFlight      int
-	Pending       int
-	Failed        int
-	Total         int
-	Poses         int
-	Finalized     bool
-	Reassignments int // lease-expiry reassignments (distributed runs)
-	PerTarget     []TargetStatus
-	Workers       []WorkerStatus // distributed workers, sorted by ID
+	Name          string         `json:"name"`
+	Dir           string         `json:"dir"`
+	DeckSize      int            `json:"deck_size"`
+	Scorers       []string       `json:"scorers"`   // the manifest's recorded scorer set, primary first
+	Precision     string         `json:"precision"` // the manifest's recorded engine precision ("f64"/"f32")
+	Done          int            `json:"done"`
+	InFlight      int            `json:"in_flight"`
+	Pending       int            `json:"pending"`
+	Failed        int            `json:"failed"`
+	Total         int            `json:"total"`
+	Poses         int            `json:"poses"`
+	Finalized     bool           `json:"finalized"`
+	Reassignments int            `json:"reassignments"` // lease-expiry reassignments (distributed runs)
+	PerTarget     []TargetStatus `json:"per_target"`
+	Workers       []WorkerStatus `json:"workers,omitempty"` // distributed workers, sorted by ID
 }
 
 // status folds the manifest's unit grid into per-state and per-target

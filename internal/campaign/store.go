@@ -82,7 +82,7 @@ func (s *DispatchStore) Heartbeat(c *ClaimRecord) error {
 		return ErrLeaseLost
 	}
 	c.Heartbeat = s.clock.Now()
-	return writeJSONAtomic(claimPath(s.dir, c.Unit, c.Epoch), *c)
+	return WriteJSONAtomic(claimPath(s.dir, c.Unit, c.Epoch), *c)
 }
 
 // Complete acks a finished unit: the result record is written
@@ -104,7 +104,7 @@ func (s *DispatchStore) Complete(c *ClaimRecord, out UnitOutcome) error {
 		Started:  c.Granted,
 		Finished: s.clock.Now(),
 	}
-	if err := writeJSONAtomic(resultPath(s.dir, c.Unit, c.Epoch), rec); err != nil {
+	if err := WriteJSONAtomic(resultPath(s.dir, c.Unit, c.Epoch), rec); err != nil {
 		return err
 	}
 	if fenced, err := s.fenced(c); err == nil && fenced {
@@ -126,7 +126,7 @@ func (s *DispatchStore) Fail(c *ClaimRecord, out UnitOutcome, unitErr error) err
 		Finished: s.clock.Now(),
 		Err:      unitErr.Error(),
 	}
-	if err := writeJSONAtomic(resultPath(s.dir, c.Unit, c.Epoch), rec); err != nil {
+	if err := WriteJSONAtomic(resultPath(s.dir, c.Unit, c.Epoch), rec); err != nil {
 		return err
 	}
 	if fenced, err := s.fenced(c); err == nil && fenced {

@@ -3,6 +3,7 @@ package chem
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Vec3 is a 3D coordinate in Angstroms.
@@ -48,6 +49,14 @@ type Mol struct {
 	SMILES string // source string, if parsed from SMILES
 	Atoms  []Atom
 	Bonds  []Bond
+
+	// rotCache memoizes RotatableBonds as count+1 (0 = not yet
+	// computed). Topology is fixed once a Mol is built — only atom
+	// positions change after parsing — so the count is computed at most
+	// once per molecule instead of re-deriving ring membership on every
+	// scoring call. Accessed atomically; the stored value is a pure
+	// function of Bonds, so concurrent recomputation is idempotent.
+	rotCache int32
 }
 
 // NumAtoms returns the heavy-atom count.
@@ -195,7 +204,19 @@ func (m *Mol) NumRings() int {
 // RotatableBonds counts single, acyclic bonds between two heavy atoms
 // that each have at least one other heavy neighbor — the standard
 // definition used in drug-likeness filters and Vina's rotor penalty.
+// The count is cached on the molecule: rescoring paths call this per
+// pose, and the ring-membership derivation would otherwise dominate
+// their allocation profile.
 func (m *Mol) RotatableBonds() int {
+	if c := atomic.LoadInt32(&m.rotCache); c != 0 {
+		return int(c - 1)
+	}
+	n := m.rotatableBonds()
+	atomic.StoreInt32(&m.rotCache, int32(n)+1)
+	return n
+}
+
+func (m *Mol) rotatableBonds() int {
 	adj := m.Adjacency()
 	inRing := m.RingBonds()
 	n := 0

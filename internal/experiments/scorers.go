@@ -69,3 +69,22 @@ func ScorersByName(s Scale, names []string) ([]screen.Scorer, error) {
 	}
 	return out, nil
 }
+
+// ScorersFromSpec parses a comma-separated scorer-set spec
+// ("coherent" or "coherent,vina,mmgbsa"; blanks around commas are
+// tolerated, the first name is the primary scorer) and builds the set
+// at the given scale. It is the one parser behind every -scorers flag
+// — the campaign runner and the screening service both resolve specs
+// here, so the grammar cannot drift between front doors.
+func ScorersFromSpec(s Scale, spec string) ([]screen.Scorer, error) {
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("experiments: scorer spec %q names no scorers (want a comma-separated subset of %s)", spec, strings.Join(ScorerNames(), "|"))
+	}
+	return ScorersByName(s, names)
+}

@@ -155,7 +155,6 @@ func splat(data []float64, chOffset int, ch [chem.FeatureChannels]float64, pos c
 	}
 }
 
-
 // RotationAxis selects the axis for RandomRotate.
 type RotationAxis int
 

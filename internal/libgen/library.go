@@ -168,3 +168,39 @@ func TotalSize() int {
 	}
 	return n
 }
+
+// ByName returns the library with the given name, or nil.
+func ByName(name string) *Library {
+	for _, l := range All() {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// MolByID resolves a library-qualified compound identifier
+// ("zinc-world-approved:17") back to its prepared molecule — the
+// inverse of Library.ID, used by front doors that accept compound
+// references rather than structures.
+func MolByID(id string) (*chem.Mol, error) {
+	name, idxStr, ok := strings.Cut(id, ":")
+	if !ok {
+		return nil, fmt.Errorf("libgen: compound ID %q is not library:index", id)
+	}
+	l := ByName(name)
+	if l == nil {
+		return nil, fmt.Errorf("libgen: unknown library %q in compound ID %q", name, id)
+	}
+	idx := 0
+	for _, c := range idxStr {
+		if c < '0' || c > '9' {
+			return nil, fmt.Errorf("libgen: bad compound index in ID %q", id)
+		}
+		idx = idx*10 + int(c-'0')
+	}
+	if idxStr == "" || idx >= l.Size {
+		return nil, fmt.Errorf("libgen: compound index %q out of range for %s (size %d)", idxStr, name, l.Size)
+	}
+	return l.Mol(idx)
+}

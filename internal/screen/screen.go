@@ -33,7 +33,6 @@ import (
 	"deepfusion/internal/featurize"
 	"deepfusion/internal/fusion"
 	"deepfusion/internal/h5lite"
-	"deepfusion/internal/mmgbsa"
 	"deepfusion/internal/target"
 )
 
@@ -225,42 +224,12 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 	if bs < 1 {
 		bs = 1
 	}
-	ensemble := len(scorers) > 1
-	// When the MM/GBSA surrogate is in the scorer set, its ScoreBatch
-	// already computes the rescore carried in the legacy MMGBSA column
-	// (ScoreBatch is contractually deterministic) — reuse it instead of
-	// paying the physics rescore twice per pose.
-	mmgbsaIdx := -1
-	for i, s := range scorers {
-		if s.Name() == "mmgbsa" {
-			mmgbsaIdx = i
-			break
-		}
-	}
 	var wg sync.WaitGroup
 	for rank := 0; rank < o.Ranks; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			replicas := replicasOf(scorers)
-			// One workspace per rank, shared by its replicas, makes the
-			// scoring loop allocation-free for ScorerInto scorers.
-			var ws *fusion.Workspace
-			for _, r := range replicas {
-				if _, ok := r.(ScorerInto); ok {
-					ws = fusion.NewWorkspaceFor(o.Precision)
-					break
-				}
-			}
-			scoreBuf := make([]float64, len(replicas)*bs)
-			score := func(si int, batch []*fusion.Sample) []float64 {
-				if r, ok := replicas[si].(ScorerInto); ok && ws != nil {
-					out := scoreBuf[si*bs : si*bs+len(batch)]
-					r.ScoreBatchInto(batch, ws, out)
-					return out
-				}
-				return replicas[si].ScoreBatch(batch)
-			}
+			be := newBatchEmitter(scorers, p, bs, o.Precision, rank)
 			// The rank's share: index-strided, as in the paper ("divide
 			// the set of compounds by the number of ranks and assign
 			// each rank the subset with its index").
@@ -331,13 +300,13 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 			}()
 			// Batched inference loop: accumulate featurized samples up
 			// to the batch size, score them — one forward pass per
-			// scorer over the shared batch — and emit.
+			// scorer over the shared batch via the shared batchEmitter
+			// (the same per-batch path the Session seam runs) — and
+			// emit.
 			idxs := make([]int, 0, bs)
 			batch := make([]*fusion.Sample, 0, bs)
-			var extraBufs [][]float64
-			if ensemble {
-				extraBufs = make([][]float64, len(replicas))
-			}
+			batchPoses := make([]Pose, 0, bs)
+			emitAt := func(j int, pr Prediction) { emit(idxs[j], pr) }
 			flush := func() bool {
 				if len(batch) == 0 {
 					return true
@@ -345,43 +314,11 @@ func runRanks(ctx context.Context, scorers []Scorer, p *target.Pocket, poses []P
 				if ctx.Err() != nil {
 					return false
 				}
-				primary := score(0, batch)
-				var extra [][]float64
-				if ensemble {
-					extra = extraBufs
-					extra[0] = primary
-					for si := 1; si < len(replicas); si++ {
-						extra[si] = score(si, batch)
-					}
+				batchPoses = batchPoses[:0]
+				for _, idx := range idxs {
+					batchPoses = append(batchPoses, poses[idx])
 				}
-				for j, idx := range idxs {
-					ps := poses[idx]
-					var gbsa float64
-					switch {
-					case mmgbsaIdx == 0:
-						gbsa = primary[j]
-					case mmgbsaIdx > 0:
-						gbsa = extra[mmgbsaIdx][j]
-					default:
-						gbsa = mmgbsa.Rescore(p, ps.Mol)
-					}
-					pr := Prediction{
-						CompoundID: ps.CompoundID,
-						Target:     p.Name,
-						PoseRank:   ps.PoseRank,
-						Fusion:     orientToPK(scorers[0], primary[j]),
-						Vina:       ps.VinaScore,
-						MMGBSA:     gbsa,
-						Rank:       rank,
-					}
-					if ensemble {
-						pr.Scores = make(map[string]float64, len(scorers))
-						for si, s := range scorers {
-							pr.Scores[s.Name()] = extra[si][j]
-						}
-					}
-					emit(idx, pr)
-				}
+				be.scoreBatch(batch, batchPoses, emitAt)
 				// The batch is emitted; its slots go back to the loaders.
 				for _, s := range batch {
 					slots <- s

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"deepfusion/internal/campaign"
+	"deepfusion/internal/h5lite"
+	"deepfusion/internal/screen"
+)
+
+// RequestRecord is the durable form of one service request. Records
+// live as requests/<id>.json under the service directory and are
+// written with the campaign's atomic JSON primitive, so a kill at any
+// instant leaves either the old record or the new one, never a torn
+// file.
+type RequestRecord struct {
+	ID        string    `json:"id"`
+	Target    string    `json:"target"`
+	State     string    `json:"state"`
+	Poses     int       `json:"poses"`
+	Submitted time.Time `json:"submitted"`
+	Completed time.Time `json:"completed,omitzero"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// Store persists service requests and their results under one
+// directory, reusing the campaign's write primitives: atomic JSON for
+// request records, fsynced shard files for predictions. The layout —
+// requests/*.json + results/*.h5l — is the service-shaped sibling of
+// a campaign directory's manifest + shards.
+type Store struct {
+	dir string
+}
+
+const (
+	requestsDirName = "requests"
+	resultsDirName  = "results"
+)
+
+// OpenStore creates (or reopens) the service persistence directory.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{requestsDirName, resultsDirName} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o777); err != nil {
+			return nil, fmt.Errorf("serve: open store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// SaveRequest atomically writes the request's durable record.
+func (s *Store) SaveRequest(rec RequestRecord) error {
+	return campaign.WriteJSONAtomic(filepath.Join(s.dir, requestsDirName, rec.ID+".json"), rec)
+}
+
+// SaveResults writes the request's predictions as one shard file,
+// with the same temp-write + fsync + rename durability as campaign
+// shards (and the identical h5lite column layout, so campaign tooling
+// reads service results unchanged).
+func (s *Store) SaveResults(id string, preds []screen.Prediction) error {
+	f := screen.WriteShards(preds, 1)[0]
+	return campaign.WriteShardFile(filepath.Join(s.dir, resultsDirName, id+".h5l"), f)
+}
+
+// StoredRequest is one reloaded request: its record plus (for
+// completed requests) the predictions read back from its shard.
+type StoredRequest struct {
+	Record RequestRecord
+	Preds  []screen.Prediction
+}
+
+// Load reads every persisted request record, restoring completed
+// requests' predictions from their result shards.
+func (s *Store) Load() ([]StoredRequest, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, requestsDirName))
+	if err != nil {
+		return nil, fmt.Errorf("serve: load store: %w", err)
+	}
+	var out []StoredRequest
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, requestsDirName, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var rec RequestRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("serve: corrupt request record %s: %w", ent.Name(), err)
+		}
+		sr := StoredRequest{Record: rec}
+		if rec.State == StateDone {
+			f, err := campaign.ReadShardFile(filepath.Join(s.dir, resultsDirName, rec.ID+".h5l"))
+			if err != nil {
+				return nil, fmt.Errorf("serve: request %s is done but its result shard is unreadable: %w", rec.ID, err)
+			}
+			preds, err := screen.ReadShards([]*h5lite.File{f})
+			if err != nil {
+				return nil, err
+			}
+			sr.Preds = preds
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}

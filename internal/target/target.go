@@ -16,7 +16,6 @@
 package target
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -125,7 +124,7 @@ func (p *Pocket) affinity(m *chem.Mol, b MethodBias) float64 {
 		b.Charge*p.wCharge*sat(charge, 3) -
 		b.Rot*p.wRot*sat(rot, 8)
 	if b.Noise > 0 {
-		pk += b.Noise * hashNormal(p.Name+"/"+b.Tag, molKey(m))
+		pk += b.Noise * hashNormal(p.Name, b.Tag, molKey(m))
 	}
 	if pk < 2 {
 		pk = 2
@@ -147,22 +146,41 @@ func molKey(m *chem.Mol) string {
 	return chem.WriteSMILES(m)
 }
 
-func hashBits(tag, key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(tag))
-	h.Write([]byte{0})
-	h.Write([]byte(key))
-	return h.Sum64()
+// hashBits is FNV-1a over name + "/" + tag + "\x00" + key, folded
+// inline over the component strings: scoring paths draw noise once per
+// pose, and hashing without assembling the joined string (or a hasher)
+// keeps the warm path allocation-free. Bit-identical to hashing the
+// concatenated string through hash/fnv.
+func hashBits(name, tag, key string) uint64 {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= '/'
+	h *= prime64
+	for i := 0; i < len(tag); i++ {
+		h ^= uint64(tag[i])
+		h *= prime64
+	}
+	h *= prime64 // the \x00 separator: XOR with zero is identity
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
 }
 
-// hashNormal is a deterministic standard-normal draw per (tag, key):
-// twelve LCG uniforms summed (Irwin-Hall), as in the assay package.
-func hashNormal(tag, key string) float64 {
-	seed := hashBits(tag, key)
+// hashNormal is a deterministic standard-normal draw per (target,
+// method, compound): twelve LCG uniforms summed (Irwin-Hall), as in
+// the assay package.
+func hashNormal(name, tag, key string) float64 {
+	seed := hashBits(name, tag, key)
 	s := 0.0
 	for i := 0; i < 12; i++ {
 		seed = seed*6364136223846793005 + 1442695040888963407
-		s += float64(seed>>11) / float64(1 << 53)
+		s += float64(seed>>11) / float64(1<<53)
 	}
 	return s - 6
 }
