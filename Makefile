@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test test-distributed test-serve vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-serve bench-smoke clean
+.PHONY: all build verify test test-distributed test-dispatch-http test-serve vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-serve bench-smoke clean
 
 all: build
 
@@ -37,6 +37,15 @@ test:
 # themselves run on virtual time.
 test-distributed:
 	$(GO) test -race -timeout 10m ./internal/campaign/... ./internal/cluster/
+
+# Race-enabled pass over the multi-host HTTP dispatch layer: the
+# shared Dispatcher conformance suite against both the filesystem and
+# HTTP backends, the remote-worker byte-identity run, and the
+# network-fault chaos harness (dropped requests, lost responses,
+# injected 5xx, duplicated calls). All retry backoff runs on the fake
+# clock — zero wall sleeps — so the -timeout is a hang detector.
+test-dispatch-http:
+	$(GO) test -race -timeout 10m ./internal/campaign/dispatchhttp/ ./internal/campaign/dispatchtest/
 
 # Race-enabled pass over the screening service: the cross-request
 # batcher on the fake clock (deadline vs batch-full vs drain flushes,

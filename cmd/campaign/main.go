@@ -11,11 +11,13 @@
 //	campaign run    -dir DIR [-targets a,b] [-scorers a,b,c] [-n N]
 //	                [-chunk N] [-workers N] [-loaders N] [-top N]
 //	                [-precision f64|f32] [-failprob P] [-seed N] [-full]
-//	                [-distributed] [-lease-ttl D]
+//	                [-distributed] [-lease-ttl D] [-listen ADDR]
 //	campaign resume -dir DIR [-precision f64|f32] [-distributed]
-//	                [-workers N] [-lease-ttl D]
+//	                [-workers N] [-lease-ttl D] [-listen ADDR]
 //	campaign worker -dir DIR [-id ID] [-lease-ttl D]
+//	campaign worker -coordinator URL [-scratch DIR] [-id ID] [-lease-ttl D]
 //	campaign status -dir DIR [-json]
+//	campaign status -coordinator URL [-json]
 //
 // `run` creates the campaign (refusing to clobber an existing one),
 // builds the requested scorer set (training models at the requested
@@ -40,6 +42,15 @@
 // nothing: its leases expire and the coordinator reassigns the units,
 // with final selections byte-identical to an uninterrupted
 // single-process run.
+//
+// With -listen the coordinator additionally serves the lease protocol
+// over HTTP, so workers on hosts that do NOT share the campaign
+// directory can join: `campaign worker -coordinator http://host:8765`
+// mirrors the manifest into a local scratch directory, claims units
+// over the wire, and ships finished shard bytes back before acking.
+// Transient network faults are retried with capped backoff; the
+// epoch fence makes every retried ack fold exactly once, so the
+// byte-identity guarantee holds across network partitions too.
 package main
 
 import (
@@ -49,6 +60,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +70,7 @@ import (
 
 	"deepfusion/internal/campaign"
 	"deepfusion/internal/campaign/dispatch"
+	"deepfusion/internal/campaign/dispatchhttp"
 	"deepfusion/internal/cluster"
 	"deepfusion/internal/experiments"
 )
@@ -79,7 +93,10 @@ in-flight or failed ones, producing the same selections as an
 uninterrupted run. With -distributed the campaign runs as a
 coordinator plus N worker processes claiming chunks through a
 lease-aware store; killed workers' units are reassigned on lease
-expiry with the same byte-identity guarantee.
+expiry with the same byte-identity guarantee. Add -listen ADDR to
+also serve the lease protocol over HTTP, and join workers from hosts
+with no shared filesystem via
+'campaign worker -coordinator http://host:port'.
 `)
 }
 
@@ -132,6 +149,7 @@ func cmdRun(args []string) {
 	full := fs.Bool("full", false, "train the scoring model at the full budget")
 	distributed := fs.Bool("distributed", false, "run as coordinator + forked worker processes claiming chunks through the lease store (0 workers: coordinator only, attach workers by hand)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "distributed: heartbeat TTL before a worker's units are reassigned")
+	listen := fs.String("listen", "", "distributed: also serve the lease protocol over HTTP on this address (host:port) so workers on other hosts can join with -coordinator")
 	fs.Parse(args)
 	if *dir == "" {
 		log.Fatal("run: -dir is required")
@@ -167,8 +185,11 @@ func cmdRun(args []string) {
 		log.Fatal(err)
 	}
 	if *distributed {
-		executeDistributed(c, *workers, *leaseTTL)
+		executeDistributed(c, *workers, *leaseTTL, *listen)
 		return
+	}
+	if *listen != "" {
+		log.Fatal("run: -listen requires -distributed (the HTTP server fronts the coordinator's lease store)")
 	}
 	execute(c)
 }
@@ -180,6 +201,7 @@ func cmdResume(args []string) {
 	distributed := fs.Bool("distributed", false, "resume as coordinator + forked worker processes")
 	workers := fs.Int("workers", 2, "distributed: worker processes to fork (0: coordinator only)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "distributed: heartbeat TTL before a worker's units are reassigned")
+	listen := fs.String("listen", "", "distributed: also serve the lease protocol over HTTP on this address (host:port) so workers on other hosts can join with -coordinator")
 	fs.Parse(args)
 	if *dir == "" {
 		log.Fatal("resume: -dir is required")
@@ -211,8 +233,11 @@ func cmdResume(args []string) {
 		log.Fatal(err)
 	}
 	if *distributed {
-		executeDistributed(c, *workers, *leaseTTL)
+		executeDistributed(c, *workers, *leaseTTL, *listen)
 		return
+	}
+	if *listen != "" {
+		log.Fatal("resume: -listen requires -distributed (the HTTP server fronts the coordinator's lease store)")
 	}
 	execute(c)
 }
@@ -220,19 +245,52 @@ func cmdResume(args []string) {
 // cmdWorker attaches one worker process to an existing campaign: it
 // rebuilds the manifest's scorer set deterministically, opens the
 // campaign read-only (workers never write the manifest) and runs the
-// claim → execute → ack loop until every unit settles. Run it by hand
-// to join extra workers to a live campaign from any host sharing the
-// campaign directory.
+// claim → execute → ack loop until every unit settles. With -dir the
+// lease store is the shared campaign directory; with -coordinator the
+// worker needs no shared filesystem at all — it mirrors the manifest
+// from the coordinator's HTTP server into a local scratch directory,
+// claims units over the wire, and ships shard bytes back before
+// acking.
 func cmdWorker(args []string) {
 	fs := flag.NewFlagSet("campaign worker", flag.ExitOnError)
-	dir := fs.String("dir", "", "campaign directory to attach to (required)")
+	dir := fs.String("dir", "", "campaign directory to attach to (shared-filesystem mode)")
+	coordinator := fs.String("coordinator", "", "coordinator base URL, e.g. http://host:8765 (multi-host mode; no shared filesystem needed)")
+	scratch := fs.String("scratch", "", "multi-host: local scratch directory for the mirrored manifest and staged shards (default: a fresh temp dir)")
 	id := fs.String("id", "", "worker ID recorded in claims and the manifest (default: host-pid)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "heartbeat TTL; must match the coordinator's")
 	fs.Parse(args)
-	if *dir == "" {
-		log.Fatal("worker: -dir is required")
+	if (*dir == "") == (*coordinator == "") {
+		log.Fatal("worker: exactly one of -dir (shared filesystem) or -coordinator URL (multi-host) is required")
 	}
-	cfg, err := campaign.ReadConfig(*dir)
+
+	campDir := *dir
+	var store campaign.Dispatcher
+	var client *dispatchhttp.Client
+	if *coordinator != "" {
+		local := *scratch
+		if local == "" {
+			tmp, err := os.MkdirTemp("", "campaign-worker-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			local = tmp
+		}
+		cl, err := dispatchhttp.NewClient(*coordinator, local, dispatchhttp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mirroring campaign from %s into %s...\n", *coordinator, local)
+		if err := cl.MirrorCampaign(); err != nil {
+			log.Fatal(err)
+		}
+		campDir = local
+		store = cl
+		client = cl
+	} else {
+		store = campaign.NewDispatchStore(campDir, nil)
+	}
+
+	cfg, err := campaign.ReadConfig(campDir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -240,12 +298,12 @@ func cmdWorker(args []string) {
 	if cfg.ModelScale != "" {
 		scale = cfg.ModelScale
 	}
-	fmt.Printf("worker attaching to %s: rebuilding scorer set %v (scale=%s)...\n", *dir, cfg.Scorers, scale)
+	fmt.Printf("worker attaching to %s: rebuilding scorer set %v (scale=%s)...\n", campDir, cfg.Scorers, scale)
 	set, err := experiments.ScorersByName(scaleOf(scale), cfg.Scorers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, err := campaign.Attach(*dir, set)
+	c, err := campaign.Attach(campDir, set)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -254,7 +312,7 @@ func cmdWorker(args []string) {
 	w := &dispatch.Worker{
 		ID:    *id,
 		Camp:  c,
-		Store: campaign.NewDispatchStore(*dir, nil),
+		Store: store,
 		Lease: campaign.LeaseOptions{TTL: *leaseTTL},
 		OnEvent: func(ev dispatch.Event) {
 			if ev.Kind == dispatch.EventAcked {
@@ -265,18 +323,45 @@ func cmdWorker(args []string) {
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Fatal(err)
 	}
+	if client != nil {
+		if s := client.Stats(); s.Retries > 0 {
+			fmt.Printf("network: %d request retr%s, %d backoff sleep(s)\n",
+				s.Retries, plural(s.Retries, "y", "ies"), s.Backoffs)
+		}
+	}
 	fmt.Println("worker done: campaign settled")
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // executeDistributed runs the coordinator in this process and forks n
 // workers over the `worker` subcommand. The campaign handle must come
-// from New or Load (the coordinator is the manifest writer).
-func executeDistributed(c *campaign.Campaign, n int, leaseTTL time.Duration) {
+// from New or Load (the coordinator is the manifest writer). A
+// non-empty listen address additionally serves the lease protocol
+// over HTTP for workers on hosts that do not share the campaign
+// directory.
+func executeDistributed(c *campaign.Campaign, n int, leaseTTL time.Duration, listen string) {
 	ctx, stop := interruptibleContext()
 	defer stop()
 	exe, err := os.Executable()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			log.Fatalf("listen %s: %v", listen, err)
+		}
+		srv := &http.Server{Handler: dispatchhttp.NewServer(c.Dir(), nil).Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving dispatch on http://%s — join from any host with `campaign worker -coordinator http://<this-host>:%d`\n",
+			ln.Addr(), ln.Addr().(*net.TCPAddr).Port)
 	}
 	if n == 0 {
 		fmt.Printf("coordinator only: attach workers with `campaign worker -dir %s`\n", c.Dir())
@@ -323,13 +408,24 @@ func printRunStats(rs cluster.RunStats) {
 
 func cmdStatus(args []string) {
 	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
-	dir := fs.String("dir", "", "campaign directory (required)")
+	dir := fs.String("dir", "", "campaign directory (filesystem mode)")
+	coordinator := fs.String("coordinator", "", "coordinator base URL to query instead of a local directory (multi-host mode)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the human summary (one Status object; ops tooling and the serve /v1/status handler consume the same shape)")
 	fs.Parse(args)
-	if *dir == "" {
-		log.Fatal("status: -dir is required")
+	if (*dir == "") == (*coordinator == "") {
+		log.Fatal("status: exactly one of -dir or -coordinator URL is required")
 	}
-	st, err := campaign.ReadStatus(*dir)
+	var st campaign.Status
+	var err error
+	if *coordinator != "" {
+		cl, cerr := dispatchhttp.NewClient(*coordinator, "", dispatchhttp.Options{})
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		st, err = cl.Status()
+	} else {
+		st, err = campaign.ReadStatus(*dir)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -381,6 +477,12 @@ func printResult(res *campaign.Result) {
 
 func printStatus(st campaign.Status) {
 	fmt.Printf("campaign %s (%s)\n", st.Name, st.Dir)
+	switch st.Backend {
+	case "http":
+		fmt.Printf("dispatch: http via coordinator %s\n", st.Coordinator)
+	case "fs":
+		fmt.Println("dispatch: fs (shared campaign directory)")
+	}
 	fmt.Printf("scorers: %s\n", strings.Join(st.Scorers, ", "))
 	fmt.Printf("precision: %s\n", st.Precision)
 	fmt.Printf("deck: %d compounds; units: %d done, %d in-flight, %d failed, %d pending of %d; poses scored: %d\n",
@@ -395,8 +497,12 @@ func printStatus(st campaign.Status) {
 			if len(w.Leases) > 0 {
 				held = strings.Join(w.Leases, ",")
 			}
-			fmt.Printf("  %-14s last beat %s ago  %2d units (%.2f/s)  %6d poses  holds: %s\n",
-				w.ID, time.Since(w.LastBeat).Round(time.Second), w.UnitsDone, w.UnitsPerSec, w.PosesDone, held)
+			net := ""
+			if w.DispatchRetries > 0 || w.DispatchBackoffs > 0 {
+				net = fmt.Sprintf("  net: %d retries/%d backoffs", w.DispatchRetries, w.DispatchBackoffs)
+			}
+			fmt.Printf("  %-14s last beat %s ago  %2d units (%.2f/s)  %6d poses  holds: %s%s\n",
+				w.ID, time.Since(w.LastBeat).Round(time.Second), w.UnitsDone, w.UnitsPerSec, w.PosesDone, held, net)
 		}
 	}
 	if st.Finalized {

@@ -1,87 +1,27 @@
 package dispatch
 
 import (
-	"context"
-	"encoding/json"
-	"path/filepath"
 	"testing"
 
 	"deepfusion/internal/campaign"
-	"deepfusion/internal/featurize"
-	"deepfusion/internal/fusion"
+	"deepfusion/internal/campaign/dispatchtest"
 	"deepfusion/internal/screen"
 )
 
-// tinyModel builds the same untrained-but-deterministic Coherent
-// Fusion model the campaign package's tests use: two calls with the
-// same seeds produce identical weights, so every worker process (and
-// every worker incarnation in the chaos harness) reconstructs exactly
-// the scorer the coordinator recorded.
-func tinyModel() *fusion.Fusion {
-	cnnCfg := fusion.DefaultCNN3DConfig()
-	cnnCfg.Voxel = featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
-	cnnCfg.ConvFilters1 = 4
-	cnnCfg.ConvFilters2 = 6
-	cnnCfg.DenseNodes = 8
-	sgCfg := fusion.DefaultSGCNNConfig()
-	sgCfg.CovGatherWidth = 6
-	sgCfg.NonCovGatherWidth = 8
-	cnn := fusion.NewCNN3D(cnnCfg, 1)
-	sg := fusion.NewSGCNN(sgCfg, 2)
-	return fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, 3)
-}
+// The tiny deterministic fixtures live in the shared dispatchtest kit
+// (one copy for the dispatch, dispatchhttp and conformance suites);
+// these wrappers keep this package's historical test names.
 
-func tinyScorers() []screen.Scorer {
-	return []screen.Scorer{tinyModel()}
-}
+func tinyScorers() []screen.Scorer { return dispatchtest.TinyScorers() }
 
-// tinyConfig is a three-target campaign — satellite of the chaos
-// test's "3-target campaign, N workers" requirement — with three work
-// units per target: enough grid for reassignment churn, small enough
-// to run in unit-test time.
-func tinyConfig() campaign.Config {
-	cfg := campaign.DefaultConfig()
-	cfg.Targets = []string{"protease1", "protease2", "spike1"}
-	cfg.Compounds = 6
-	cfg.ChunkSize = 2
-	cfg.MaxPoses = 2
-	cfg.Workers = 2
-	cfg.TopN = 4
-	cfg.Shards = 2
-	cfg.Job = screen.DefaultJobOptions()
-	cfg.Job.Voxel = featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
-	cfg.Seed = 11
-	return cfg
-}
+func tinyConfig() campaign.Config { return dispatchtest.TinyConfig() }
 
-// selectionBytes serializes a finalized campaign's per-target
-// selections — the byte-identity oracle shared with the campaign
-// package's kill/resume tests.
 func selectionBytes(t *testing.T, dir string) []byte {
 	t.Helper()
-	sel, err := campaign.ReadSelections(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := json.MarshalIndent(sel, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	return b
+	return dispatchtest.SelectionBytes(t, dir)
 }
 
-// referenceRun executes the campaign uninterrupted in a single
-// process and returns its directory and selection bytes — the golden
-// answer every distributed run must reproduce exactly.
 func referenceRun(t *testing.T, cfg campaign.Config) (string, []byte) {
 	t.Helper()
-	dir := filepath.Join(t.TempDir(), "ref")
-	c, err := campaign.New(dir, cfg, tinyScorers())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.Run(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	return dir, selectionBytes(t, dir)
+	return dispatchtest.ReferenceRun(t, cfg)
 }

@@ -15,6 +15,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"os"
 	"time"
 
@@ -52,21 +54,38 @@ type Worker struct {
 	ID string
 	// Camp is the read-only campaign handle (campaign.Attach).
 	Camp *campaign.Campaign
-	// Store is the lease store (campaign.NewDispatchStore on the same
-	// directory, or a future multi-host backend).
-	Store *campaign.DispatchStore
-	// Clock drives heartbeats and claim-retry polling. Nil means the
-	// system clock.
+	// Store is the lease backend: campaign.NewDispatchStore on a
+	// shared directory, or dispatchhttp.NewClient against a
+	// coordinator on another host.
+	Store campaign.Dispatcher
+	// Clock drives heartbeats, claim-retry polling and transient-error
+	// backoff. Nil means the system clock.
 	Clock campaign.Clock
 	// Lease sets the heartbeat cadence (must match the coordinator's
 	// TTL regime). Zero-valued means defaults.
 	Lease campaign.LeaseOptions
-	// Poll is the claim-retry cadence while every unfinished unit is
-	// leased elsewhere. Zero means one second.
+	// Poll is the base claim-retry cadence while every unfinished unit
+	// is leased elsewhere. Zero means one second. Each wait is
+	// jittered to [0.5, 1.5)x so a fleet of workers woken by the same
+	// lease expiry doesn't hammer the coordinator in lockstep.
 	Poll time.Duration
+	// StoreAttempts caps the attempts (first call included) a
+	// transient Claim/Complete/Fail error is retried with capped
+	// backoff before the worker gives up and exits — one
+	// manifest-mid-replace blip on a network filesystem or one dropped
+	// coordinator connection must not drop a worker from the fleet.
+	// Zero means 4. Protocol outcomes (ErrNoWork, ErrAllDone,
+	// ErrLeaseLost) and context cancellation are never retried.
+	StoreAttempts int
+	// StoreBackoff is the initial transient-error backoff, doubled per
+	// attempt, capped at 16x, jittered, and slept on Clock. Zero means
+	// 200ms.
+	StoreBackoff time.Duration
 	// OnEvent is an optional lifecycle observer; the chaos harness
 	// uses it to kill workers at precise protocol points.
 	OnEvent func(Event)
+
+	rng *rand.Rand // poll/backoff jitter; worker-goroutine-only
 }
 
 func (w *Worker) id() string {
@@ -91,6 +110,68 @@ func (w *Worker) poll() time.Duration {
 	return time.Second
 }
 
+// jitter spreads d uniformly over [0.5d, 1.5d). The rng is seeded
+// from the worker ID, so a fleet of workers created alike still
+// desynchronizes, while any single worker's schedule is reproducible.
+// Only the worker goroutine touches the rng.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	if w.rng == nil {
+		h := fnv.New64a()
+		h.Write([]byte(w.id()))
+		w.rng = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
+	return d/2 + time.Duration(w.rng.Int63n(int64(d)))
+}
+
+func (w *Worker) storeAttempts() int {
+	if w.StoreAttempts > 0 {
+		return w.StoreAttempts
+	}
+	return 4
+}
+
+func (w *Worker) storeBackoff() time.Duration {
+	if w.StoreBackoff > 0 {
+		return w.StoreBackoff
+	}
+	return 200 * time.Millisecond
+}
+
+// retryTransient runs one dispatcher call, retrying transient
+// infrastructure errors with capped exponential backoff on the worker
+// Clock. Protocol outcomes — nil, ErrNoWork, ErrAllDone, ErrLeaseLost
+// — and context errors return immediately: they are answers, not
+// failures. Exhausting the budget returns the last error.
+func (w *Worker) retryTransient(ctx context.Context, fn func() error) error {
+	backoff := w.storeBackoff()
+	cap := backoff * 16
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil ||
+			errors.Is(err, campaign.ErrNoWork) ||
+			errors.Is(err, campaign.ErrAllDone) ||
+			errors.Is(err, campaign.ErrLeaseLost) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if attempt >= w.storeAttempts() {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w.clock().After(w.jitter(backoff)):
+		}
+		if backoff < cap {
+			backoff *= 2
+		}
+	}
+}
+
 func (w *Worker) event(kind EventKind, unit string, epoch int) {
 	if w.OnEvent != nil {
 		w.OnEvent(Event{Kind: kind, Worker: w.id(), Unit: unit, Epoch: epoch})
@@ -106,18 +187,25 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		claim, unit, err := w.Store.Claim(w.id())
+		var claim *campaign.ClaimRecord
+		var unit *campaign.UnitRecord
+		err := w.retryTransient(ctx, func() error {
+			var cerr error
+			claim, unit, cerr = w.Store.Claim(w.id())
+			return cerr
+		})
 		if errors.Is(err, campaign.ErrAllDone) {
 			return nil
 		}
 		if errors.Is(err, campaign.ErrNoWork) {
-			// Everything unfinished is leased elsewhere; poll until a
-			// unit frees up (completion or lease expiry) or the
-			// campaign settles.
+			// Everything unfinished is leased elsewhere; poll (with
+			// jitter, so a fleet woken by one lease expiry doesn't
+			// stampede the coordinator in lockstep) until a unit frees
+			// up or the campaign settles.
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-w.clock().After(w.poll()):
+			case <-w.clock().After(w.jitter(w.poll())):
 			}
 			continue
 		}
@@ -189,7 +277,8 @@ func (w *Worker) runClaim(ctx context.Context, claim *campaign.ClaimRecord, unit
 		if err := ctx.Err(); err != nil {
 			return err // killed post-write-pre-ack: never ack, let the lease expire
 		}
-		if err := w.Store.Complete(claim, out); err != nil && !errors.Is(err, campaign.ErrLeaseLost) {
+		err := w.retryTransient(ctx, func() error { return w.Store.Complete(claim, out) })
+		if err != nil && !errors.Is(err, campaign.ErrLeaseLost) {
 			return err
 		}
 		w.event(EventAcked, claim.Unit, claim.Epoch)
@@ -198,7 +287,8 @@ func (w *Worker) runClaim(ctx context.Context, claim *campaign.ClaimRecord, unit
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := w.Store.Fail(claim, out, execErr); err != nil && !errors.Is(err, campaign.ErrLeaseLost) {
+		err := w.retryTransient(ctx, func() error { return w.Store.Fail(claim, out, execErr) })
+		if err != nil && !errors.Is(err, campaign.ErrLeaseLost) {
 			return err
 		}
 		w.event(EventAcked, claim.Unit, claim.Epoch)

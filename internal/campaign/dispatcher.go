@@ -1,0 +1,33 @@
+package campaign
+
+// Dispatcher is the worker side of the lease protocol — the claim /
+// heartbeat / ack surface a worker process drives its unit loop
+// through. The filesystem DispatchStore implements it directly on the
+// shared campaign directory; dispatchhttp.Client implements it over
+// HTTP against a coordinator that does not share a filesystem with
+// the worker. Swapping backends never touches the worker loop.
+//
+// Implementations must preserve the protocol's error contract:
+//
+//   - Claim returns ErrNoWork when every unfinished unit is leased
+//     elsewhere (poll again) and ErrAllDone when the campaign has
+//     settled (exit). Any other error is infrastructure.
+//   - Heartbeat, Complete and Fail return ErrLeaseLost when the
+//     claim's epoch has been fenced — the worker abandons the unit.
+//   - Complete and Fail must be idempotent at a fixed (unit, epoch):
+//     a retry after a lost response re-lands the same epoch-named
+//     result record, and the coordinator folds it exactly once. The
+//     epoch fence, not client-side state, is the exactly-once
+//     mechanism.
+type Dispatcher interface {
+	// Claim leases the first unfinished, unclaimed unit to workerID.
+	Claim(workerID string) (*ClaimRecord, *UnitRecord, error)
+	// Heartbeat renews the claim's lease.
+	Heartbeat(c *ClaimRecord) error
+	// Complete acks a finished unit with its outcome.
+	Complete(c *ClaimRecord, out UnitOutcome) error
+	// Fail acks a unit that exhausted its retry budget.
+	Fail(c *ClaimRecord, out UnitOutcome, unitErr error) error
+}
+
+var _ Dispatcher = (*DispatchStore)(nil)

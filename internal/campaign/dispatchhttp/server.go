@@ -1,0 +1,271 @@
+package dispatchhttp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"deepfusion/internal/campaign"
+)
+
+// maxShardUpload caps one uploaded shard body. Repro-scale shards are
+// kilobytes; paper-scale h5lite shards are tens of megabytes. The cap
+// is a malformed-client guard, not a tuning knob.
+const maxShardUpload = 1 << 30
+
+// Server is the coordinator side of HTTP dispatch: it exposes the
+// lease protocol of one campaign directory to remote workers. Every
+// state-changing request is delegated to the filesystem DispatchStore
+// on the coordinator's own directory — claims by exclusive create,
+// heartbeats and acks by atomic rewrite, uploaded shard bytes by
+// atomic temp+rename — so the durability and fencing arguments of the
+// shared-filesystem protocol carry over verbatim, and the coordinator
+// process remains the sole manifest writer. Handlers are safe for
+// concurrent use: the underlying store is (its atomicity is
+// file-level), and the in-memory per-worker counters are
+// mutex-guarded.
+type Server struct {
+	dir   string
+	store *campaign.DispatchStore
+
+	mu  sync.Mutex
+	net map[string]*netCounters
+}
+
+// netCounters aggregates one worker's transport-level robustness
+// telemetry, folded from the client's request headers.
+type netCounters struct {
+	requests int
+	retries  int
+	backoffs int
+}
+
+// NewServer builds the dispatch server for a campaign directory. A
+// nil clock means the system clock; tests inject the fake clock the
+// lease state machine runs on.
+func NewServer(dir string, clock campaign.Clock) *Server {
+	return &Server{
+		dir:   dir,
+		store: campaign.NewDispatchStore(dir, clock),
+		net:   map[string]*netCounters{},
+	}
+}
+
+// Handler returns the dispatch mux. Mount it at the root of a
+// coordinator-side http.Server (the paths are absolute).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+pathClaim, s.handleClaim)
+	mux.HandleFunc("POST "+pathHeartbeat, s.handleHeartbeat)
+	mux.HandleFunc("POST "+pathComplete, s.handleComplete)
+	mux.HandleFunc("POST "+pathFail, s.handleFail)
+	mux.HandleFunc("PUT "+pathShards+"{name}", s.handleShard)
+	mux.HandleFunc("GET "+pathManifest, s.handleManifest)
+	mux.HandleFunc("GET "+pathStatus, s.handleStatus)
+	return mux
+}
+
+// recordNet folds one request's dispatch headers into the per-worker
+// counters `campaign status -coordinator` reports.
+func (s *Server) recordNet(r *http.Request) {
+	worker := r.Header.Get(headerWorker)
+	if worker == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.net[worker]
+	if c == nil {
+		c = &netCounters{}
+		s.net[worker] = c
+	}
+	c.requests++
+	if attempt, _ := strconv.Atoi(r.Header.Get(headerAttempt)); attempt > 0 {
+		c.retries++
+	}
+	// The backoff header is the client's cumulative sleep count;
+	// requests can arrive out of order, so keep the high-water mark.
+	if b, _ := strconv.Atoi(r.Header.Get(headerBackoffs)); b > c.backoffs {
+		c.backoffs = b
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("dispatchhttp: bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	s.recordNet(r)
+	var req claimRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "dispatchhttp: claim needs a worker id", http.StatusBadRequest)
+		return
+	}
+	claim, unit, err := s.store.Claim(req.Worker)
+	switch {
+	case errors.Is(err, campaign.ErrNoWork):
+		writeJSON(w, claimResponse{Code: codeNoWork})
+	case errors.Is(err, campaign.ErrAllDone):
+		writeJSON(w, claimResponse{Code: codeAllDone})
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		writeJSON(w, claimResponse{Code: codeOK, Claim: claim, Unit: unit})
+	}
+}
+
+// handleAck is the shared heartbeat/complete/fail shape: run the
+// store call, translate ErrLeaseLost into its wire code.
+func (s *Server) handleAck(w http.ResponseWriter, r *http.Request, op func(c *campaign.ClaimRecord, req ackRequest) error) {
+	s.recordNet(r)
+	var req ackRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c := req.Claim
+	err := op(&c, req)
+	switch {
+	case errors.Is(err, campaign.ErrLeaseLost):
+		writeJSON(w, ackResponse{Code: codeLeaseLost})
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		writeJSON(w, ackResponse{Code: codeOK, Claim: &c})
+	}
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	s.handleAck(w, r, func(c *campaign.ClaimRecord, req ackRequest) error {
+		return s.store.Heartbeat(c)
+	})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	s.handleAck(w, r, func(c *campaign.ClaimRecord, req ackRequest) error {
+		return s.store.Complete(c, req.Outcome)
+	})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	s.handleAck(w, r, func(c *campaign.ClaimRecord, req ackRequest) error {
+		msg := req.Error
+		if msg == "" {
+			msg = "unit failed (no detail from worker)"
+		}
+		return s.store.Fail(c, req.Outcome, fmt.Errorf("%w: %s", campaign.ErrUnitFailed, msg))
+	})
+}
+
+// handleShard lands one uploaded shard into the coordinator's shard
+// directory through the atomic write primitive. Re-uploads (a worker
+// retrying a Complete whose response was lost) atomically replace the
+// file with identical bytes — unit execution is deterministic at a
+// fixed (unit, epoch) — so the upload is idempotent. Names are
+// base-only and epoch-qualified by the worker exactly as on a shared
+// filesystem, so a fenced zombie's late upload lands under its old
+// epoch and is ignored by the coordinator, never double-counted.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	s.recordNet(r)
+	name := r.PathValue("name")
+	if !validShardName(name) {
+		http.Error(w, fmt.Sprintf("dispatchhttp: invalid shard name %q", name), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxShardUpload))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("dispatchhttp: read shard body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := campaign.WriteBytesAtomic(filepath.Join(campaign.ShardDir(s.dir), name), data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, ackResponse{Code: codeOK})
+}
+
+// validShardName accepts exactly the names writeUnitShards produces:
+// a single path element ending in .h5l, no separators, no dot-dot —
+// an uploaded name can never escape the shard directory.
+func validShardName(name string) bool {
+	if name == "" || !strings.HasSuffix(name, ".h5l") {
+		return false
+	}
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return false
+	}
+	return name == filepath.Base(name)
+}
+
+// handleManifest serves the raw manifest bytes. The manifest is only
+// ever replaced by atomic rename, so a read never observes a torn
+// file; remote workers mirror these bytes into a local scratch
+// directory and Attach to that.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	data, err := os.ReadFile(campaign.ManifestPath(s.dir))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleStatus serves the manifest-derived campaign status stamped
+// with the HTTP backend identity and each worker's dispatch
+// retry/backoff counters.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := campaign.ReadStatus(s.dir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	st.Backend = "http"
+	st.Coordinator = r.Host
+	s.mu.Lock()
+	seen := map[string]bool{}
+	for i := range st.Workers {
+		ws := &st.Workers[i]
+		seen[ws.ID] = true
+		if c := s.net[ws.ID]; c != nil {
+			ws.DispatchRetries = c.retries
+			ws.DispatchBackoffs = c.backoffs
+		}
+	}
+	// Workers that have talked to the server but not yet folded into
+	// the manifest (every claim so far lost a race, say) still show.
+	var extra []string
+	for id := range s.net {
+		if !seen[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	for _, id := range extra {
+		c := s.net[id]
+		st.Workers = append(st.Workers, campaign.WorkerStatus{
+			ID: id, DispatchRetries: c.retries, DispatchBackoffs: c.backoffs,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, st)
+}

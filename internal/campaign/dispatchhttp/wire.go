@@ -1,0 +1,83 @@
+// Package dispatchhttp carries the campaign lease protocol over HTTP,
+// so workers on hosts that do NOT share a filesystem with the
+// coordinator can join a distributed campaign. The coordinator runs
+// Server next to its manifest directory (the coordinator process
+// stays the sole manifest writer; every durable write still goes
+// through the campaign package's atomic file primitives), and each
+// remote worker drives its unmodified claim → execute → ack loop
+// through Client, which implements campaign.Dispatcher with per-call
+// deadlines, capped exponential backoff with jitter (slept on the
+// injected campaign.Clock — virtual in tests), and epoch-fenced
+// idempotent retries: a Complete whose response was lost on the wire
+// is simply re-sent, re-lands the same epoch-named result record, and
+// folds into the manifest exactly once.
+//
+// Wire shape: JSON request/response bodies over five endpoints —
+// claim, heartbeat, complete, fail, and shard upload (remote workers
+// stage shards in a local scratch directory and ship the bytes to the
+// coordinator before acking) — plus read-only manifest and status.
+// Protocol outcomes (no-work, all-done, lease-lost) travel as codes
+// inside 200 responses so the retry layer never confuses them with
+// infrastructure failures; 5xx and transport errors are retried,
+// other 4xx are terminal. The protocol carries no authentication: it
+// trusts the network exactly as far as the shared-filesystem store
+// trusts the filesystem. Run it on a private interface.
+package dispatchhttp
+
+import "deepfusion/internal/campaign"
+
+// Endpoint paths. pathShards is a prefix: the shard's base filename
+// is the final segment.
+const (
+	pathClaim     = "/v1/dispatch/claim"
+	pathHeartbeat = "/v1/dispatch/heartbeat"
+	pathComplete  = "/v1/dispatch/complete"
+	pathFail      = "/v1/dispatch/fail"
+	pathShards    = "/v1/dispatch/shards/"
+	pathManifest  = "/v1/dispatch/manifest"
+	pathStatus    = "/v1/dispatch/status"
+)
+
+// Protocol outcome codes carried inside 200 responses.
+const (
+	codeOK        = "ok"
+	codeNoWork    = "no-work"
+	codeAllDone   = "all-done"
+	codeLeaseLost = "lease-lost"
+)
+
+// Request headers: the worker identity behind each call, the per-call
+// retry attempt (0 for the first try), and the client's cumulative
+// backoff-sleep count — the coordinator folds these into per-worker
+// dispatch counters for `campaign status`.
+const (
+	headerWorker   = "X-Dispatch-Worker"
+	headerAttempt  = "X-Dispatch-Attempt"
+	headerBackoffs = "X-Dispatch-Backoffs"
+)
+
+type claimRequest struct {
+	Worker string `json:"worker"`
+}
+
+type claimResponse struct {
+	Code  string                `json:"code"`
+	Claim *campaign.ClaimRecord `json:"claim,omitempty"`
+	Unit  *campaign.UnitRecord  `json:"unit,omitempty"`
+}
+
+// ackRequest is the shared body of heartbeat, complete and fail.
+// Error is non-empty only for fail.
+type ackRequest struct {
+	Claim   campaign.ClaimRecord `json:"claim"`
+	Outcome campaign.UnitOutcome `json:"outcome"`
+	Error   string               `json:"error,omitempty"`
+}
+
+// ackResponse answers heartbeat/complete/fail/shard-upload. Heartbeat
+// returns the renewed claim record so the client mirrors the
+// server-stamped renewal time.
+type ackResponse struct {
+	Code  string                `json:"code"`
+	Claim *campaign.ClaimRecord `json:"claim,omitempty"`
+}

@@ -1,0 +1,254 @@
+package dispatchtest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"deepfusion/internal/campaign"
+)
+
+// Backend is one dispatch backend under conformance test: the worker
+// side (Dispatcher handles), the coordinator side (Sync, Status), and
+// the shared fake clock the lease state machine runs on.
+type Backend struct {
+	// Dispatcher returns a worker's lease handle. Implementations may
+	// hand every worker one shared store (fs) or a per-worker client
+	// (http).
+	Dispatcher func(workerID string) campaign.Dispatcher
+	// Sync runs one coordinator pass at virtual time now, folding
+	// claims and acks into the manifest and expiring stale leases.
+	Sync func(now time.Time) (campaign.SyncReport, error)
+	// Status reads the coordinator-side campaign status.
+	Status func() (campaign.Status, error)
+	// Clock is the injected fake clock both sides share.
+	Clock *campaign.FakeClock
+	// Lease is the TTL regime the backend was configured with.
+	Lease campaign.LeaseOptions
+}
+
+// Conformance runs the shared Dispatcher contract suite against a
+// backend: claim exclusivity, expiry-reassign-exactly-once, zombie
+// fencing with poses counted exactly once, idempotent Complete
+// retries, and renewal keeping a slow-but-alive worker's lease. Every
+// subtest gets a fresh backend from setup; all time is virtual.
+func Conformance(t *testing.T, setup func(t *testing.T) *Backend) {
+	t.Run("ClaimExclusivityAndNoWork", func(t *testing.T) {
+		b := setup(t)
+		st, err := b.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		claimed := map[string]string{}
+		for i := 0; i < st.Total; i++ {
+			d := b.Dispatcher(workerN(i))
+			c, u, err := d.Claim(workerN(i))
+			if err != nil {
+				t.Fatalf("claim %d: %v", i, err)
+			}
+			if c.Unit != u.ID {
+				t.Fatalf("claim %d: claim unit %s != record %s", i, c.Unit, u.ID)
+			}
+			if prev, dup := claimed[c.Unit]; dup {
+				t.Fatalf("unit %s leased to both %s and %s", c.Unit, prev, workerN(i))
+			}
+			claimed[c.Unit] = workerN(i)
+		}
+		if len(claimed) != st.Total {
+			t.Fatalf("claimed %d distinct units, want all %d", len(claimed), st.Total)
+		}
+		if _, _, err := b.Dispatcher("extra").Claim("extra"); !errors.Is(err, campaign.ErrNoWork) {
+			t.Fatalf("claim on a fully leased grid = %v, want ErrNoWork", err)
+		}
+	})
+
+	t.Run("CompleteAllThenAllDone", func(t *testing.T) {
+		b := setup(t)
+		d := b.Dispatcher("w1")
+		completed := 0
+		for {
+			c, _, err := d.Claim("w1")
+			if errors.Is(err, campaign.ErrNoWork) {
+				// Everything this worker leased is unacked in the
+				// manifest until a sync folds it.
+				if _, err := b.Sync(b.Clock.Now()); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if errors.Is(err, campaign.ErrAllDone) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Complete(c, campaign.UnitOutcome{Poses: 1}); err != nil {
+				t.Fatalf("complete %s: %v", c.Unit, err)
+			}
+			completed++
+		}
+		st, err := b.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done != st.Total || completed != st.Total {
+			t.Fatalf("done %d / completed %d, want all %d", st.Done, completed, st.Total)
+		}
+		if st.Poses != st.Total {
+			t.Fatalf("poses = %d, want %d (1 per unit, exactly once)", st.Poses, st.Total)
+		}
+	})
+
+	t.Run("ExpiryReassignsExactlyOnce", func(t *testing.T) {
+		b := setup(t)
+		d := b.Dispatcher("w1")
+		c1, _, err := d.Claim("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := b.Sync(b.Clock.Now().Add(b.Lease.TTL / 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Reassigned) != 0 || rep.InFlight != 1 {
+			t.Fatalf("fresh lease: %+v, want 1 in-flight, 0 reassigned", rep)
+		}
+		b.Clock.Advance(b.Lease.TTL + time.Second)
+		rep, err = b.Sync(b.Clock.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Reassigned) != 1 || rep.Reassigned[0] != c1.Unit {
+			t.Fatalf("expired lease reassigned %v, want [%s]", rep.Reassigned, c1.Unit)
+		}
+		// The tombstoned claim must not re-fire.
+		rep, err = b.Sync(b.Clock.Now().Add(4 * b.Lease.TTL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Reassigned) != 0 {
+			t.Fatalf("second sync reassigned %v, want nothing (tombstone re-fired)", rep.Reassigned)
+		}
+		// And the unit is claimable again at a fenced-off epoch.
+		c2, _, err := b.Dispatcher("w2").Claim("w2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Unit != c1.Unit || c2.Epoch != c1.Epoch+1 {
+			t.Fatalf("replacement claim = %s e%d, want %s e%d", c2.Unit, c2.Epoch, c1.Unit, c1.Epoch+1)
+		}
+	})
+
+	t.Run("ZombieFencedPosesCountedOnce", func(t *testing.T) {
+		b := setup(t)
+		zombie, _, err := b.Dispatcher("w1").Claim("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Clock.Advance(b.Lease.TTL + time.Second)
+		if rep, err := b.Sync(b.Clock.Now()); err != nil || len(rep.Reassigned) != 1 {
+			t.Fatalf("expiry sync: rep=%+v err=%v, want 1 reassignment", rep, err)
+		}
+		// The zombie wakes: heartbeat and ack are both refused, and its
+		// epoch-stale ack must never fold.
+		if err := b.Dispatcher("w1").Heartbeat(zombie); !errors.Is(err, campaign.ErrLeaseLost) {
+			t.Fatalf("zombie heartbeat = %v, want ErrLeaseLost", err)
+		}
+		err = b.Dispatcher("w1").Complete(zombie, campaign.UnitOutcome{Poses: 99})
+		if !errors.Is(err, campaign.ErrLeaseLost) {
+			t.Fatalf("zombie ack = %v, want ErrLeaseLost", err)
+		}
+		rep, err := b.Sync(b.Clock.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Done != 0 || len(rep.Completed) != 0 {
+			t.Fatalf("sync after zombie ack folded %+v, want nothing", rep)
+		}
+		// The replacement's ack is the one that lands — exactly once.
+		fresh, _, err := b.Dispatcher("w2").Claim("w2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Unit != zombie.Unit || fresh.Epoch != zombie.Epoch+1 {
+			t.Fatalf("replacement claim = %+v, want %s at epoch %d", fresh, zombie.Unit, zombie.Epoch+1)
+		}
+		if err := b.Dispatcher("w2").Complete(fresh, campaign.UnitOutcome{Poses: 7}); err != nil {
+			t.Fatal(err)
+		}
+		if rep, err = b.Sync(b.Clock.Now()); err != nil || len(rep.Completed) != 1 {
+			t.Fatalf("final sync: rep=%+v err=%v, want exactly the epoch-fenced ack", rep, err)
+		}
+		st, err := b.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done != 1 || st.Poses != 7 {
+			t.Fatalf("status = %d done / %d poses, want 1 / 7 (zombie's 99 must not count)", st.Done, st.Poses)
+		}
+	})
+
+	t.Run("CompleteIdempotentUnderRetry", func(t *testing.T) {
+		b := setup(t)
+		d := b.Dispatcher("w1")
+		c, _, err := d.Claim("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A Complete whose response was lost is retried by the worker;
+		// both acks land the same epoch-named record and the
+		// coordinator folds the unit exactly once.
+		if err := d.Complete(c, campaign.UnitOutcome{Poses: 5}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Complete(c, campaign.UnitOutcome{Poses: 5}); err != nil && !errors.Is(err, campaign.ErrLeaseLost) {
+			t.Fatalf("retried complete = %v, want idempotent success (or a fence)", err)
+		}
+		folded := 0
+		for i := 0; i < 3; i++ {
+			rep, err := b.Sync(b.Clock.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			folded += len(rep.Completed)
+		}
+		if folded != 1 {
+			t.Fatalf("folded %d completions across syncs, want exactly 1", folded)
+		}
+		st, err := b.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done != 1 || st.Poses != 5 {
+			t.Fatalf("status = %d done / %d poses, want 1 / 5 (double-counted ack)", st.Done, st.Poses)
+		}
+	})
+
+	t.Run("RenewalKeepsSlowWorkerAlive", func(t *testing.T) {
+		b := setup(t)
+		d := b.Dispatcher("w1")
+		c, _, err := d.Claim("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 8 renewals at 2/3 TTL cadence: far past the TTL in total,
+		// never past it between beats.
+		for i := 0; i < 8; i++ {
+			b.Clock.Advance(b.Lease.TTL * 2 / 3)
+			if err := d.Heartbeat(c); err != nil {
+				t.Fatalf("renewal %d: %v", i, err)
+			}
+			rep, err := b.Sync(b.Clock.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Reassigned) != 0 || rep.InFlight != 1 {
+				t.Fatalf("renewal %d: %+v, want lease held", i, rep)
+			}
+		}
+	})
+}
+
+func workerN(i int) string {
+	return "cw" + string(rune('A'+i%26))
+}

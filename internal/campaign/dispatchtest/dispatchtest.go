@@ -1,0 +1,94 @@
+// Package dispatchtest holds the shared verification kit for
+// campaign dispatch backends: the tiny deterministic campaign fixture
+// every distributed-runtime test builds on, and the Dispatcher
+// conformance suite both the filesystem store and the HTTP backend
+// must pass. It lives outside the _test files so the dispatch,
+// dispatchhttp and campaign test packages can all drive one suite
+// instead of three drifting copies.
+package dispatchtest
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"deepfusion/internal/campaign"
+	"deepfusion/internal/featurize"
+	"deepfusion/internal/fusion"
+	"deepfusion/internal/screen"
+)
+
+// TinyModel builds an untrained-but-deterministic Coherent Fusion
+// model: two calls with the same seeds produce identical weights, so
+// every worker process (and every worker incarnation in the chaos
+// harnesses) reconstructs exactly the scorer the coordinator
+// recorded.
+func TinyModel() *fusion.Fusion {
+	cnnCfg := fusion.DefaultCNN3DConfig()
+	cnnCfg.Voxel = featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
+	cnnCfg.ConvFilters1 = 4
+	cnnCfg.ConvFilters2 = 6
+	cnnCfg.DenseNodes = 8
+	sgCfg := fusion.DefaultSGCNNConfig()
+	sgCfg.CovGatherWidth = 6
+	sgCfg.NonCovGatherWidth = 8
+	cnn := fusion.NewCNN3D(cnnCfg, 1)
+	sg := fusion.NewSGCNN(sgCfg, 2)
+	return fusion.NewFusion(fusion.DefaultCoherentConfig(), cnn, sg, 3)
+}
+
+// TinyScorers wraps TinyModel as a one-scorer set.
+func TinyScorers() []screen.Scorer {
+	return []screen.Scorer{TinyModel()}
+}
+
+// TinyConfig is a three-target campaign with three work units per
+// target: enough grid for reassignment churn, small enough to run in
+// unit-test time.
+func TinyConfig() campaign.Config {
+	cfg := campaign.DefaultConfig()
+	cfg.Targets = []string{"protease1", "protease2", "spike1"}
+	cfg.Compounds = 6
+	cfg.ChunkSize = 2
+	cfg.MaxPoses = 2
+	cfg.Workers = 2
+	cfg.TopN = 4
+	cfg.Shards = 2
+	cfg.Job = screen.DefaultJobOptions()
+	cfg.Job.Voxel = featurize.VoxelOptions{GridSize: 4, Resolution: 6.0, Sigma: 0.8}
+	cfg.Seed = 11
+	return cfg
+}
+
+// SelectionBytes serializes a finalized campaign's per-target
+// selections — the byte-identity oracle shared by every
+// distributed-runtime test.
+func SelectionBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	sel, err := campaign.ReadSelections(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(sel, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// ReferenceRun executes the campaign uninterrupted in a single
+// process and returns its directory and selection bytes — the golden
+// answer every distributed run must reproduce exactly.
+func ReferenceRun(t *testing.T, cfg campaign.Config) (string, []byte) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ref")
+	c, err := campaign.New(dir, cfg, TinyScorers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return dir, SelectionBytes(t, dir)
+}

@@ -188,6 +188,32 @@ func WriteJSONAtomic(path string, v any) error {
 	return os.Rename(tmp, path)
 }
 
+// WriteBytesAtomic atomically replaces path with data (temp-write +
+// fsync + rename) — the raw-bytes member of the atomic-write family,
+// used by the HTTP dispatch server to land uploaded shard bytes and
+// by remote workers to mirror the manifest. A kill at any instant
+// leaves path absent, the old content, or the new content — never a
+// torn file.
+func WriteBytesAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // parseEpochName splits "<unit>.e<NNNNN><ext>" into (unit, epoch).
 func parseEpochName(name, ext string) (string, int, bool) {
 	if !strings.HasSuffix(name, ext) {

@@ -108,6 +108,17 @@ const (
 // manifestPath returns the manifest location inside a campaign dir.
 func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
 
+// ManifestPath returns the manifest.json location inside a campaign
+// directory — exported for the HTTP dispatch layer, which serves the
+// raw manifest bytes to remote workers and mirrors them into a local
+// scratch directory.
+func ManifestPath(dir string) string { return manifestPath(dir) }
+
+// ShardDir returns the shard directory inside a campaign directory —
+// where the HTTP dispatch server lands shard bytes uploaded by remote
+// workers.
+func ShardDir(dir string) string { return filepath.Join(dir, shardDirName) }
+
 // saveManifest writes the manifest atomically: serialize to a temp
 // file in the same directory, fsync, rename over the live copy. A
 // kill at any instant leaves either the old or the new manifest,
@@ -188,13 +199,27 @@ type WorkerStatus struct {
 	// (first claim to last heartbeat) — derived purely from the
 	// manifest, so `campaign status` needs no live connection.
 	UnitsPerSec float64 `json:"units_per_sec"`
+	// DispatchRetries and DispatchBackoffs count the transient
+	// dispatch-call retries and backoff sleeps this worker has burned
+	// reaching the coordinator. Only the HTTP backend populates them
+	// (the coordinator's dispatch server folds them into its /status
+	// response from the clients' request headers); a shared-filesystem
+	// campaign leaves them zero.
+	DispatchRetries  int `json:"dispatch_retries,omitempty"`
+	DispatchBackoffs int `json:"dispatch_backoffs,omitempty"`
 }
 
 // Status is a point-in-time campaign summary derived from the
 // manifest.
 type Status struct {
-	Name          string         `json:"name"`
-	Dir           string         `json:"dir"`
+	Name string `json:"name"`
+	Dir  string `json:"dir"`
+	// Backend names the dispatch backend the status was read through:
+	// "fs" for a manifest read off the (shared) filesystem, "http"
+	// when served by a coordinator's dispatch server. Coordinator is
+	// the serving address in the http case.
+	Backend       string         `json:"backend,omitempty"`
+	Coordinator   string         `json:"coordinator,omitempty"`
 	DeckSize      int            `json:"deck_size"`
 	Scorers       []string       `json:"scorers"`   // the manifest's recorded scorer set, primary first
 	Precision     string         `json:"precision"` // the manifest's recorded engine precision ("f64"/"f32")
@@ -216,6 +241,7 @@ func (m *Manifest) status(dir string) Status {
 	s := Status{
 		Name:          m.Name,
 		Dir:           dir,
+		Backend:       "fs",
 		DeckSize:      m.DeckSize,
 		Scorers:       m.Config.Scorers,
 		Precision:     string(m.Config.Job.Precision.Normalize()),
