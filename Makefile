@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test test-distributed test-dispatch-http test-serve vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-serve bench-smoke clean
+.PHONY: all build verify test test-distributed test-dispatch-http test-serve test-integrity fuzz-h5lite vet vet-tags vulncheck bench bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-report bench-serve bench-integrity bench-smoke clean
 
 all: build
 
@@ -53,6 +53,22 @@ test-dispatch-http:
 # the HTTP round trip. Deterministic — no wall-clock sleeps.
 test-serve:
 	$(GO) test -race -timeout 10m ./internal/serve/
+
+# Race-enabled pass over the durability layer: h5lite v2 checksums
+# (golden bytes, bit-flip and truncation sweeps, fuzz seed corpus),
+# the disk-fault injection plans, the self-healing campaign loop
+# (quarantine + re-queue under the repair budget), offline fsck, the
+# shard-upload CRC refusal on the wire, and the screening service's
+# restart healing. Deterministic on virtual time; -timeout is a hang
+# detector.
+test-integrity:
+	$(GO) test -race -timeout 10m ./internal/h5lite/ ./internal/campaign/ ./internal/campaign/dispatch/ ./internal/campaign/dispatchhttp/ ./internal/serve/
+
+# Short coverage-guided fuzz of the h5lite decoder on top of the
+# checked-in seed corpus: no input may panic it, over-allocate, or
+# decode corrupt bytes silently. CI runs this as a smoke step.
+fuzz-h5lite:
+	$(GO) test ./internal/h5lite/ -fuzz=FuzzRead -fuzztime=30s
 
 # Tier-1 verification: build, vet, full test suite.
 verify: build vet test
@@ -105,6 +121,17 @@ bench-report:
 	$(GO) run ./cmd/benchreport $(if $(FULL),-full) -json > bench_report.json
 	@echo "wrote bench_report.json"
 
+# Durability-layer cost trajectory: one prediction shard written and
+# read through the real shard I/O path at h5lite v1 (no checksums) vs
+# v2 (CRC32C sections + whole-file trailer, the default), each pair
+# timed strictly interleaved so host noise cancels
+# (cmd/benchreport/integrity.go). The WriteShard/ReadShard v2/v1
+# ratios must stay <= 1.05. BENCH_10.json is the committed artifact;
+# CI uploads a fresh copy.
+bench-integrity:
+	$(GO) run ./cmd/benchreport -integrity -json > BENCH_10.json
+	@echo "wrote BENCH_10.json"
+
 # One-iteration pass over every benchmark in the repo so benchmark
 # code cannot rot; CI runs this on every push. BENCH_SCALE=smoke drops
 # the paper-table benchmarks to the smoke budget — this is a
@@ -112,7 +139,7 @@ bench-report:
 bench-smoke:
 	BENCH_SCALE=smoke $(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-bench: bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-serve bench-report
+bench: bench-screen bench-consensus bench-featurize bench-kernels bench-precision bench-serve bench-integrity bench-report
 
 clean:
 	rm -f bench_screen.txt bench_consensus.txt bench_featurize.txt bench_precision.txt bench_report.json

@@ -28,8 +28,22 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit a JSON array of {experiment, text} records instead of plain text")
 	kernels := flag.Bool("kernels", false, "benchmark the engine's f64 reference vs f32 fast-path kernels (MatMulPacked, Conv3DForward, PredictBatch, RunJob) instead of the paper experiments")
 	serveBench := flag.Bool("serve", false, "benchmark the screening service (warm engine + cross-request batcher) against the solo RunJob baseline instead of the paper experiments")
+	integrity := flag.Bool("integrity", false, "benchmark shard encode/decode at h5lite v1 (no checksums) vs v2 (CRC32C sections + trailer) instead of the paper experiments")
 	flag.Parse()
 
+	if *integrity {
+		rep := runIntegrityReport()
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		printIntegrityReport(rep)
+		return
+	}
 	if *serveBench {
 		rep := runServeReport()
 		if *asJSON {

@@ -18,6 +18,7 @@
 //	campaign worker -coordinator URL [-scratch DIR] [-id ID] [-lease-ttl D]
 //	campaign status -dir DIR [-json]
 //	campaign status -coordinator URL [-json]
+//	campaign fsck   -dir DIR [-repair] [-json]
 //
 // `run` creates the campaign (refusing to clobber an existing one),
 // builds the requested scorer set (training models at the requested
@@ -51,6 +52,15 @@
 // Transient network faults are retried with capped backoff; the
 // epoch fence makes every retried ack fold exactly once, so the
 // byte-identity guarantee holds across network partitions too.
+//
+// Every shard is a checksummed h5lite v2 file and every fold point
+// verifies integrity before trusting bytes, so torn writes, bit flips
+// and truncation are detected — corrupt shards are quarantined (never
+// deleted) and their units re-run automatically under a bounded
+// repair budget. `campaign fsck -dir DIR` walks a campaign directory
+// offline and reports damaged or unaccounted files; add -repair to
+// quarantine the damage and re-queue the affected units for the next
+// resume. `status` surfaces the lifetime corruption/repair counters.
 package main
 
 import (
@@ -83,6 +93,7 @@ Subcommands:
   resume  continue a killed, interrupted or failure-stalled campaign
   worker  attach one worker process to a distributed campaign
   status  print per-target unit progress (and worker liveness) from the manifest
+  fsck    verify every shard's checksums offline; -repair quarantines damage and re-queues units
 
 Run 'campaign <subcommand> -h' for the subcommand's flags.
 
@@ -118,6 +129,8 @@ func main() {
 		cmdWorker(flag.Args()[1:])
 	case "status":
 		cmdStatus(flag.Args()[1:])
+	case "fsck":
+		cmdFsck(flag.Args()[1:])
 	default:
 		log.Printf("unknown subcommand %q", flag.Arg(0))
 		usage()
@@ -440,6 +453,58 @@ func cmdStatus(args []string) {
 	printStatus(st)
 }
 
+func cmdFsck(args []string) {
+	fs := flag.NewFlagSet("campaign fsck", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign directory to verify (required; detach workers first)")
+	repair := fs.Bool("repair", false, "quarantine damaged shards and re-queue their units for the next resume")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("fsck: -dir is required")
+	}
+	rep, err := campaign.Fsck(*dir, *repair)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		printFsck(rep)
+	}
+	// Exit 1 when damage was found but left in place, so scripts can
+	// gate on it; informational findings (orphan shards) don't fail.
+	if !*repair {
+		for _, p := range rep.Problems {
+			if p.Kind == "corrupt-shard" || p.Kind == "missing-shard" {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func printFsck(rep campaign.FsckReport) {
+	fmt.Printf("fsck %s: %d unit(s), %d shard(s) verified\n", rep.Dir, rep.UnitsChecked, rep.ShardsChecked)
+	for _, p := range rep.Problems {
+		fmt.Printf("  [%s] %s\n", p.Kind, p.Detail)
+	}
+	for _, q := range rep.Quarantined {
+		fmt.Printf("  quarantined: %s\n", q)
+	}
+	if len(rep.Repaired) > 0 {
+		fmt.Printf("re-queued %d unit(s) for the next resume: %s\n", len(rep.Repaired), strings.Join(rep.Repaired, ", "))
+	}
+	if rep.Corruptions > 0 || rep.Repairs > 0 {
+		fmt.Printf("lifetime counters: %d corruption(s), %d repair(s)\n", rep.Corruptions, rep.Repairs)
+	}
+	if rep.Clean() {
+		fmt.Println("clean: every done unit's shards verified")
+	}
+}
+
 // execute runs (or continues) a campaign and prints progress, the
 // final selections and the two-stage confirmation summary.
 func execute(c *campaign.Campaign) {
@@ -487,6 +552,10 @@ func printStatus(st campaign.Status) {
 	fmt.Printf("precision: %s\n", st.Precision)
 	fmt.Printf("deck: %d compounds; units: %d done, %d in-flight, %d failed, %d pending of %d; poses scored: %d\n",
 		st.DeckSize, st.Done, st.InFlight, st.Failed, st.Pending, st.Total, st.Poses)
+	if st.Corruptions > 0 || st.Repairs > 0 {
+		fmt.Printf("integrity: %d corrupt shard(s) detected and quarantined, %d repair re-queue(s) granted\n",
+			st.Corruptions, st.Repairs)
+	}
 	for _, ts := range st.PerTarget {
 		fmt.Printf("  %-12s %d/%d units  %6d poses\n", ts.Target, ts.Done, ts.Total, ts.Poses)
 	}

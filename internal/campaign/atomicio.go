@@ -1,0 +1,66 @@
+// commitBytes is the single durable-publish primitive every
+// campaign-side atomic write funnels through: temp file in the target
+// directory, fsync the data, rename over the destination, fsync the
+// parent directory so the rename itself survives power loss. The
+// injectable disk-fault layer (faultfs.go) hooks the payload and the
+// rename here, which is what makes one seam cover WriteShardFile,
+// WriteJSONAtomic, WriteBytesAtomic and the serve request store all
+// at once.
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// commitBytes atomically and durably replaces path with data. A kill
+// or power loss at any instant leaves path absent, the old content,
+// or the new content — never a torn file, and (thanks to the
+// directory fsync) never a rename that evaporates on reboot.
+func commitBytes(path string, data []byte) error {
+	data, err := faultWritePayload(path, data)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := faultRename(path); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-linked entry
+// is durable, not merely sitting in the page cache. Filesystems that
+// refuse fsync on directories (some network mounts) degrade to the
+// pre-durability behavior rather than failing the commit.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// EINVAL/ENOTSUP from exotic filesystems: the rename still
+		// happened; durability degrades, correctness does not.
+		return nil
+	}
+	return nil
+}

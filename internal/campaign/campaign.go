@@ -19,6 +19,7 @@
 package campaign
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -65,6 +66,11 @@ type Config struct {
 	// MaxAttempts is the per-chunk Fusion job retry budget per Run
 	// call (resume grants a fresh budget). Zero means 3.
 	MaxAttempts int `json:"max_attempts"`
+	// MaxRepairs is the per-unit lifetime budget of corruption
+	// re-queues: each time a unit's shards fail integrity verification
+	// the shards are quarantined and the unit re-runs, at most this
+	// many times before it parks as failed. Zero means 3.
+	MaxRepairs int `json:"max_repairs,omitempty"`
 	// Shards is the number of h5lite output shards per unit.
 	Shards int `json:"shards"`
 	// TopN compounds per target go on the simulated purchase list.
@@ -125,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts < 1 {
 		c.MaxAttempts = 3
+	}
+	if c.MaxRepairs < 1 {
+		c.MaxRepairs = 3
 	}
 	if c.Shards < 1 {
 		c.Shards = 1
@@ -459,6 +468,43 @@ func shardsExist(dir string, shards []string) bool {
 // campaign complete. In both cases a subsequent Run (same process or
 // a fresh Load) continues from the manifest.
 func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	for {
+		if err := c.runUnits(ctx); err != nil {
+			return nil, err
+		}
+		res, err := c.Finalize()
+		if errors.Is(err, ErrShardsQuarantined) {
+			// Finalize verified every done unit's shards, quarantined
+			// the damage and re-queued the owners under their repair
+			// budgets. Units that exhausted the budget parked as
+			// failed — surface those instead of looping forever.
+			if n := c.failedUnitCount(); n > 0 {
+				return nil, fmt.Errorf("campaign: %d unit(s) exhausted the repair budget: %w", n, err)
+			}
+			continue
+		}
+		return res, err
+	}
+}
+
+// failedUnitCount counts units currently parked failed.
+func (c *Campaign) failedUnitCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, u := range c.man.Units {
+		if u.State == UnitFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// runUnits drives the worker pool over every runnable unit once: the
+// execution half of Run, split out so the self-healing loop can
+// re-enter it after finalize quarantines a corrupt shard and
+// re-queues its unit.
+func (c *Campaign) runUnits(ctx context.Context) error {
 	cfg := c.man.Config
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -504,12 +550,12 @@ feed:
 		unitErrs = append(unitErrs, err)
 	}
 	if interrupted {
-		return nil, fmt.Errorf("%w (%s)", ErrInterrupted, c.progressLine())
+		return fmt.Errorf("%w (%s)", ErrInterrupted, c.progressLine())
 	}
 	if len(unitErrs) > 0 {
-		return nil, fmt.Errorf("campaign: %d unit(s) failed, rerun to retry: %w", len(unitErrs), errors.Join(unitErrs...))
+		return fmt.Errorf("campaign: %d unit(s) failed, rerun to retry: %w", len(unitErrs), errors.Join(unitErrs...))
 	}
-	return c.Finalize()
+	return nil
 }
 
 func (c *Campaign) progressLine() string {
@@ -692,25 +738,14 @@ func (c *Campaign) writeUnitShards(ctx context.Context, u UnitRecord, epoch int,
 	return names, nil
 }
 
-// WriteShardFile atomically writes one prediction shard (temp-write +
-// fsync + rename): the durability primitive shared by campaign
+// WriteShardFile atomically and durably writes one prediction shard
+// (checksummed h5lite v2, temp-write + fsync + rename + parent-dir
+// fsync via commitBytes): the durability primitive shared by campaign
 // finalize and the screening service's result store.
 func WriteShardFile(path string, f *h5lite.File) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
-	if err := f.Write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return commitBytes(path, buf.Bytes())
 }

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -90,7 +91,16 @@ func (co *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
 			co.OnSync(rep)
 		}
 		if rep.AllDone {
-			return co.Camp.Finalize()
+			res, err := co.Camp.Finalize()
+			if errors.Is(err, campaign.ErrShardsQuarantined) {
+				// Finalize's verification gate caught shards damaged
+				// after folding; the units were re-queued, so keep
+				// syncing — live workers will re-claim them. (Budget
+				// exhaustion parks units failed and the AllSettled
+				// branch below reports it.)
+				continue
+			}
+			return res, err
 		}
 		if rep.AllSettled {
 			return nil, fmt.Errorf("dispatch: %d unit(s) failed and no workers can retry them this run; rerun to grant a fresh budget", rep.Failed)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"net/http"
@@ -143,8 +144,9 @@ func (c *Client) jitterLocked(d time.Duration) time.Duration {
 // deadline, transport errors / timeouts / 5xx / torn response bodies
 // retried after a jittered exponential backoff slept on the injected
 // clock, non-5xx HTTP errors terminal. A 200 response is decoded into
-// out.
-func (c *Client) do(worker, method, path, contentType string, body []byte, out any) error {
+// out. extra holds additional header key/value pairs (the shard
+// upload's CRC), re-sent verbatim on every retry.
+func (c *Client) do(worker, method, path, contentType string, body []byte, out any, extra ...string) error {
 	backoff := c.opts.Backoff
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
@@ -159,7 +161,7 @@ func (c *Client) do(worker, method, path, contentType string, body []byte, out a
 				backoff *= 2
 			}
 		}
-		err := c.attempt(worker, attempt, method, path, contentType, body, out)
+		err := c.attempt(worker, attempt, method, path, contentType, body, out, extra)
 		if err == nil {
 			return nil
 		}
@@ -185,7 +187,7 @@ func asTerminal(err error, out **terminalError) bool {
 	return ok
 }
 
-func (c *Client) attempt(worker string, attempt int, method, path, contentType string, body []byte, out any) error {
+func (c *Client) attempt(worker string, attempt int, method, path, contentType string, body []byte, out any, extra []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
 	defer cancel()
 	var rd io.Reader
@@ -205,6 +207,9 @@ func (c *Client) attempt(worker string, attempt int, method, path, contentType s
 	req.Header.Set(headerWorker, worker)
 	req.Header.Set(headerAttempt, strconv.Itoa(attempt))
 	req.Header.Set(headerBackoffs, strconv.Itoa(backoffs))
+	for i := 0; i+1 < len(extra); i += 2 {
+		req.Header.Set(extra[i], extra[i+1])
+	}
 
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -318,16 +323,21 @@ func (c *Client) Fail(cl *campaign.ClaimRecord, out campaign.UnitOutcome, unitEr
 	return nil
 }
 
-// uploadShard ships one staged shard file to the coordinator. rel is
-// the campaign-relative name ExecuteUnit recorded ("shards/<name>").
+// uploadShard ships one staged shard file to the coordinator, with
+// the body's CRC32C in a header so the server can refuse bytes
+// corrupted in flight (mismatch is a 5xx: the retry loop re-reads
+// nothing, it re-sends the same staged bytes). rel is the
+// campaign-relative name ExecuteUnit recorded ("shards/<name>").
 func (c *Client) uploadShard(worker, rel string) error {
 	name := filepath.Base(rel)
 	data, err := os.ReadFile(filepath.Join(c.local, rel))
 	if err != nil {
 		return fmt.Errorf("dispatchhttp: read staged shard: %w", err)
 	}
+	crc := crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))
 	var resp ackResponse
-	if err := c.do(worker, http.MethodPut, pathShards+url.PathEscape(name), "application/octet-stream", data, &resp); err != nil {
+	if err := c.do(worker, http.MethodPut, pathShards+url.PathEscape(name), "application/octet-stream", data, &resp,
+		headerShardCRC, fmt.Sprintf("%08x", crc)); err != nil {
 		return err
 	}
 	if resp.Code != codeOK {

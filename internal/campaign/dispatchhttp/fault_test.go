@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -41,6 +43,11 @@ const (
 	// fault5xx: the coordinator answers 503 without the request taking
 	// effect (a proxy or overload shed).
 	fault5xx
+	// faultCorruptBody: the request is delivered with one body byte
+	// flipped in flight. For shard uploads the server's CRC check must
+	// refuse the bytes with a retryable 502; the client re-sends the
+	// pristine staged bytes.
+	faultCorruptBody
 )
 
 type fault struct {
@@ -133,6 +140,15 @@ func (f *faultingTransport) RoundTrip(req *http.Request) (*http.Response, error)
 			return nil, err
 		}
 		return f.base.RoundTrip(fresh())
+	case faultCorruptBody:
+		r := fresh()
+		if len(body) > 0 {
+			damaged := append([]byte(nil), body...)
+			damaged[len(damaged)/2] ^= 0x20
+			r.Body = io.NopCloser(bytes.NewReader(damaged))
+			r.ContentLength = int64(len(damaged))
+		}
+		return f.base.RoundTrip(r)
 	case fault5xx:
 		return &http.Response{
 			Status:     "503 Service Unavailable",
@@ -150,8 +166,9 @@ func (f *faultingTransport) RoundTrip(req *http.Request) (*http.Response, error)
 // complement of the dispatch package's kill-based chaos test: three
 // remote workers drive the campaign through a transport that drops
 // requests, loses responses after delivery, delays past the deadline,
-// duplicates calls, and injects 5xx — at every operation of the
-// protocol — and the finalized selections must still be byte-identical
+// duplicates calls, injects 5xx, and flips a byte inside a shard
+// upload body — at every operation of the protocol — and the
+// finalized selections must still be byte-identical
 // to the uninterrupted single-process run, with every pose counted
 // exactly once. All retry backoff runs on virtual time.
 func TestChaosNetworkFaultsByteIdentical(t *testing.T) {
@@ -182,6 +199,7 @@ func TestChaosNetworkFaultsByteIdentical(t *testing.T) {
 		{op: "shards", kind: faultDropRequest},
 		{op: "shards", kind: faultDropResponse},
 		{op: "shards", kind: fault5xx},
+		{op: "shards", kind: faultCorruptBody},
 		{op: "complete", kind: faultDropResponse},
 		{op: "complete", kind: faultDuplicate},
 		{op: "complete", kind: fault5xx},
@@ -248,7 +266,7 @@ func TestChaosNetworkFaultsByteIdentical(t *testing.T) {
 		totalRetries += cl.Stats().Retries
 	}
 	if totalRetries == 0 {
-		t.Fatal("no client retries recorded under a 14-fault plan")
+		t.Fatal("no client retries recorded under a 15-fault plan")
 	}
 	hst, err := clients[0].Status()
 	if err != nil {
@@ -263,5 +281,63 @@ func TestChaosNetworkFaultsByteIdentical(t *testing.T) {
 	}
 	if statusRetries == 0 {
 		t.Fatal("status endpoint reports zero dispatch retries; header folding is broken")
+	}
+}
+
+// TestShardUploadCorruptedInFlightRetried isolates the wire-integrity
+// check: a shard upload whose body is flipped in transit is refused
+// by the server's CRC verification with a retryable 502, the client's
+// retry re-sends the pristine staged bytes, and the bytes that land
+// on the coordinator are exactly the staged ones.
+func TestShardUploadCorruptedInFlightRetried(t *testing.T) {
+	cfg := dispatchtest.TinyConfig()
+	fc := campaign.NewFakeClock(t0)
+	fc.SetAutoAdvance(true)
+	lease := campaign.LeaseOptions{TTL: 30 * time.Minute, Heartbeat: time.Second}
+	dir, _, srv := newCoordinator(t, cfg, fc)
+
+	ft := &faultingTransport{base: http.DefaultTransport, plan: []fault{
+		{op: "shards", kind: faultCorruptBody},
+	}}
+	w, cl := remoteWorker(t, "crcw", srv.URL, fc, lease, ft)
+
+	claim, unit, err := cl.Claim(w.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := w.Camp.ExecuteUnit(context.Background(), *unit, claim.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Shards) == 0 {
+		t.Fatal("unit produced no shards")
+	}
+	if err := cl.Complete(claim, out); err != nil {
+		t.Fatalf("complete with an in-flight corruption must heal via retry, got %v", err)
+	}
+	if left := ft.remaining(); left != 0 {
+		t.Fatalf("%d planned faults never fired", left)
+	}
+	if cl.Stats().Retries == 0 {
+		t.Fatal("refused upload did not burn a retry")
+	}
+	for _, rel := range out.Shards {
+		staged, err := os.ReadFile(filepath.Join(cl.LocalDir(), rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		landed, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			t.Fatalf("shard never landed on the coordinator: %v", err)
+		}
+		if !bytes.Equal(staged, landed) {
+			t.Fatalf("landed shard %s differs from staged bytes", rel)
+		}
+	}
+	// And the landed shard passes full checksum verification.
+	for _, rel := range out.Shards {
+		if _, err := campaign.ReadShardFile(filepath.Join(dir, rel)); err != nil {
+			t.Fatalf("landed shard %s failed verification: %v", rel, err)
+		}
 	}
 }

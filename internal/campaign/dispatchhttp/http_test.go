@@ -18,6 +18,7 @@ import (
 	"deepfusion/internal/campaign/dispatch"
 	"deepfusion/internal/campaign/dispatchhttp"
 	"deepfusion/internal/campaign/dispatchtest"
+	"deepfusion/internal/h5lite"
 )
 
 var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -222,7 +223,16 @@ func TestCompleteRetryIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	shard := "shards/retry_test.h5l"
-	want := []byte("deterministic shard bytes")
+	// A real checksummed shard: fold-time verification decodes every
+	// acked shard before retiring the unit, so arbitrary bytes would
+	// be quarantined rather than folded.
+	hf := h5lite.New()
+	hf.Root().Group("retry").SetFloats("scores", []float64{1, 2, 3})
+	var shardBuf bytes.Buffer
+	if err := hf.Write(&shardBuf); err != nil {
+		t.Fatal(err)
+	}
+	want := shardBuf.Bytes()
 	if err := os.WriteFile(filepath.Join(scratch, shard), want, 0o644); err != nil {
 		t.Fatal(err)
 	}

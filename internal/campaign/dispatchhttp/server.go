@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
 	"os"
@@ -195,6 +196,18 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, fmt.Sprintf("dispatchhttp: read shard body: %v", err), http.StatusBadRequest)
 		return
+	}
+	// Verify the client's CRC over the bytes as received, BEFORE they
+	// land: a body corrupted in flight is refused with a 5xx so the
+	// client's retry loop re-sends the same staged bytes. 502 (not
+	// 500) because the damage is between the peers, not in the server.
+	if want := r.Header.Get(headerShardCRC); want != "" {
+		got := fmt.Sprintf("%08x", crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli)))
+		if got != want {
+			http.Error(w, fmt.Sprintf("dispatchhttp: shard %s: body CRC32C %s does not match header %s (corrupted in flight, retry)",
+				name, got, want), http.StatusBadGateway)
+			return
+		}
 	}
 	if err := campaign.WriteBytesAtomic(filepath.Join(campaign.ShardDir(s.dir), name), data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -56,6 +56,16 @@ const (
 	headerBackoffs = "X-Dispatch-Backoffs"
 )
 
+// headerShardCRC carries the CRC32C (Castagnoli, lowercase hex) of a
+// shard upload's body. The server recomputes it over the bytes it
+// received and refuses to land them on mismatch with a 502 — a
+// retryable error, so a body corrupted in flight is simply re-sent.
+// End-to-end: the shard bytes themselves are a checksummed h5lite v2
+// file, so corruption that slips past the wire check (or predates the
+// upload) is still caught when the coordinator verifies the shard
+// before folding its unit.
+const headerShardCRC = "X-Dispatch-Shard-Crc32c"
+
 type claimRequest struct {
 	Worker string `json:"worker"`
 }

@@ -1,0 +1,250 @@
+// Injectable filesystem fault layer for the campaign's durable-write
+// primitives and shard reads.
+//
+// The PR-7 chaos harness kills workers at scripted instants and the
+// PR-9 harness drops/duplicates/delays HTTP exchanges; both leave the
+// disk itself honest. This layer removes that assumption: scripted
+// fault plans corrupt or fail the storage operations underneath
+// WriteShardFile / ReadShardFile / WriteJSONAtomic / WriteBytesAtomic
+// and the lease store's exclusive-create, deterministically and on
+// the injected Clock, so the self-healing machinery (CRC verification
+// at fold time, quarantine, bounded re-queue, fsck) can be driven
+// through every failure mode in a race-enabled test without touching
+// real hardware.
+//
+// Fault semantics mirror how real disks betray you:
+//
+//   - torn-write and bit-flip SUCCEED from the writer's point of view
+//     — the commit returns nil and the caller acks the unit — but the
+//     bytes that land are truncated or flipped. This models firmware
+//     that acks unwritten blocks and at-rest media decay; the only
+//     defense is read-side verification, which is the point.
+//   - enospc fails the write visibly, before any byte lands.
+//   - rename-fail fails the commit's rename step visibly; the temp
+//     file is cleaned up and the destination is untouched.
+//   - short-read truncates the byte slice a reader observes without
+//     modifying the file — a transient readback fault.
+//
+// Plans are consumed first-match (op + path substring + not-before
+// time), each fault firing exactly once, and every injection is
+// logged with the clock's timestamp so tests can assert the plan
+// drained and reconcile counters against injections.
+package campaign
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DiskFaultKind names one storage failure mode.
+type DiskFaultKind string
+
+const (
+	// FaultTornWrite commits only the first Byte bytes of the payload;
+	// the write reports success.
+	FaultTornWrite DiskFaultKind = "torn-write"
+	// FaultBitFlip flips the low bit of payload byte Byte (mod len) on
+	// a write, or of the observed bytes on a read; the operation
+	// reports success.
+	FaultBitFlip DiskFaultKind = "bit-flip"
+	// FaultENOSPC fails the write with ErrInjectedENOSPC before any
+	// byte lands.
+	FaultENOSPC DiskFaultKind = "enospc"
+	// FaultRenameFail fails the commit's rename step with
+	// ErrInjectedRename; the destination is untouched.
+	FaultRenameFail DiskFaultKind = "rename-fail"
+	// FaultShortRead truncates the bytes a reader observes to the
+	// first Byte bytes, without modifying the file.
+	FaultShortRead DiskFaultKind = "short-read"
+)
+
+// Injected-fault errors, exported so tests can assert the exact
+// failure surfaced.
+var (
+	ErrInjectedENOSPC = errors.New("campaign: injected fault: no space left on device")
+	ErrInjectedRename = errors.New("campaign: injected fault: rename failed")
+)
+
+// DiskFault scripts one storage failure.
+type DiskFault struct {
+	// Op selects the operation class: "write" (payload commit,
+	// including exclusive claim creation), "rename" (the atomic
+	// publish step) or "read" (shard readback).
+	Op string
+	// Kind is the failure mode.
+	Kind DiskFaultKind
+	// Path, when non-empty, restricts the fault to targets whose path
+	// contains it (e.g. a specific shard file name).
+	Path string
+	// Byte parameterizes the fault: truncation point for torn-write /
+	// short-read, flipped byte index (mod payload length) for
+	// bit-flip.
+	Byte int
+	// NotBefore holds the fault until the plan's clock reaches it;
+	// zero fires immediately. With a FakeClock this sequences faults
+	// against lease expiries deterministically.
+	NotBefore time.Time
+}
+
+// InjectedDiskFault logs one fault that fired.
+type InjectedDiskFault struct {
+	DiskFault
+	Target string    // the path the fault was applied to
+	At     time.Time // plan clock at injection
+}
+
+// DiskFaults is a scripted, mutex-guarded fault plan. Each fault
+// fires exactly once, on the first operation matching its op, path
+// substring and not-before time; unmatched operations pass through
+// untouched. A nil *DiskFaults injects nothing.
+type DiskFaults struct {
+	clock Clock
+
+	mu       sync.Mutex
+	plan     []DiskFault
+	injected []InjectedDiskFault
+}
+
+// NewDiskFaults builds a plan evaluated against clock (nil means
+// SystemClock).
+func NewDiskFaults(clock Clock, plan ...DiskFault) *DiskFaults {
+	if clock == nil {
+		clock = SystemClock{}
+	}
+	return &DiskFaults{clock: clock, plan: append([]DiskFault(nil), plan...)}
+}
+
+// take consumes and returns the first pending fault matching the
+// operation, or ok=false when none matches yet.
+func (d *DiskFaults) take(op, path string) (DiskFault, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	for i, f := range d.plan {
+		if f.Op != op {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(path, f.Path) {
+			continue
+		}
+		if !f.NotBefore.IsZero() && now.Before(f.NotBefore) {
+			continue
+		}
+		d.plan = append(d.plan[:i], d.plan[i+1:]...)
+		d.injected = append(d.injected, InjectedDiskFault{DiskFault: f, Target: path, At: now})
+		return f, true
+	}
+	return DiskFault{}, false
+}
+
+// Remaining reports how many scripted faults have not fired yet;
+// tests assert 0 to prove the plan drained.
+func (d *DiskFaults) Remaining() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.plan)
+}
+
+// Injected returns the log of faults that fired, in firing order.
+func (d *DiskFaults) Injected() []InjectedDiskFault {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]InjectedDiskFault(nil), d.injected...)
+}
+
+// diskFaults is the process-global hook the durable-write primitives
+// consult. nil (the default) costs one atomic load per commit and
+// injects nothing. Tests script faults with SetDiskFaults; because
+// the hook is process-global, tests that set it must not run in
+// parallel with each other.
+var diskFaults atomic.Pointer[DiskFaults]
+
+// SetDiskFaults installs a fault plan under every campaign durable
+// write and shard read in the process, returning a restore function
+// for defer. Pass nil to clear.
+func SetDiskFaults(f *DiskFaults) (restore func()) {
+	prev := diskFaults.Swap(f)
+	return func() { diskFaults.Store(prev) }
+}
+
+// faultWritePayload applies any pending write fault to a payload
+// about to be committed. torn-write/bit-flip return a corrupted copy
+// with nil error (the commit proceeds and "succeeds"); enospc returns
+// an error before anything lands.
+func faultWritePayload(path string, data []byte) ([]byte, error) {
+	d := diskFaults.Load()
+	if d == nil {
+		return data, nil
+	}
+	f, ok := d.take("write", path)
+	if !ok {
+		return data, nil
+	}
+	switch f.Kind {
+	case FaultENOSPC:
+		return nil, ErrInjectedENOSPC
+	case FaultTornWrite:
+		n := f.Byte
+		if n < 0 {
+			n = 0
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		return data[:n], nil
+	case FaultBitFlip:
+		out := append([]byte(nil), data...)
+		if len(out) > 0 {
+			out[f.Byte%len(out)] ^= 0x01
+		}
+		return out, nil
+	}
+	return data, nil
+}
+
+// faultRename applies any pending rename fault for the publish step.
+func faultRename(path string) error {
+	d := diskFaults.Load()
+	if d == nil {
+		return nil
+	}
+	if f, ok := d.take("rename", path); ok && f.Kind == FaultRenameFail {
+		return ErrInjectedRename
+	}
+	return nil
+}
+
+// faultReadPayload applies any pending read fault to bytes just
+// loaded from disk: short-read truncates, bit-flip corrupts the
+// observed copy. The file itself is untouched.
+func faultReadPayload(path string, data []byte) []byte {
+	d := diskFaults.Load()
+	if d == nil {
+		return data
+	}
+	f, ok := d.take("read", path)
+	if !ok {
+		return data
+	}
+	switch f.Kind {
+	case FaultShortRead:
+		n := f.Byte
+		if n < 0 {
+			n = 0
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		return data[:n]
+	case FaultBitFlip:
+		out := append([]byte(nil), data...)
+		if len(out) > 0 {
+			out[f.Byte%len(out)] ^= 0x01
+		}
+		return out
+	}
+	return data
+}

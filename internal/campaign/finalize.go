@@ -53,6 +53,27 @@ func (r *Result) HitRate() float64 {
 // byte-identical selections.
 func (c *Campaign) Finalize() (*Result, error) {
 	c.mu.Lock()
+	// Defense in depth: even though the distributed fold path verified
+	// each shard before marking its unit done, re-verify here — the
+	// last gate before bytes flow into selections. Anything damaged
+	// since folding is quarantined and its unit re-queued; finalize
+	// then refuses with ErrShardsQuarantined rather than fold.
+	probs, changed, err := verifyAndQuarantineDone(c.dir, c.man)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if changed {
+		if err := saveManifest(c.dir, c.man); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	if len(probs) > 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("campaign: %d shard(s) failed verification (%s): %w",
+			len(probs), probs[0].String(), ErrShardsQuarantined)
+	}
 	for _, u := range c.man.Units {
 		if u.State != UnitDone {
 			c.mu.Unlock()
@@ -84,7 +105,7 @@ func (c *Campaign) Finalize() (*Result, error) {
 	c.mu.Lock()
 	c.man.Selections = selections
 	c.man.Finalized = true
-	err := saveManifest(c.dir, c.man)
+	err = saveManifest(c.dir, c.man)
 	c.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -171,12 +192,16 @@ func (c *Campaign) selectForTarget(cfg Config, tgtName string, preds []screen.Pr
 	return tr, nil
 }
 
-// ReadShardFile loads one prediction shard written by WriteShardFile.
+// ReadShardFile loads and verifies one prediction shard written by
+// WriteShardFile. The whole file is read through the disk-fault layer
+// and decoded with its path stamped into any corruption report, so a
+// damaged shard surfaces as a *h5lite.CorruptError naming the file —
+// which the self-healing sync loop and fsck key on — never as
+// silently wrong floats.
 func ReadShardFile(path string) (*h5lite.File, error) {
-	r, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer r.Close()
-	return h5lite.Read(r)
+	return h5lite.Decode(path, faultReadPayload(path, data))
 }

@@ -126,14 +126,20 @@ func ensureDispatchDirs(dir string) error {
 	return nil
 }
 
-// writeJSONTemp serializes v into a fresh temp file next to path and
-// returns the temp name.
+// writeJSONTemp serializes v into a fresh fsynced temp file next to
+// path and returns the temp name. The payload passes through the
+// disk-fault layer (keyed on the final path) so the lease store's
+// exclusive-create is fault-injectable like every other durable
+// write.
 func writeJSONTemp(path string, v any) (string, error) {
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := marshalJSONRecord(v)
 	if err != nil {
 		return "", err
 	}
-	data = append(data, '\n')
+	data, err = faultWritePayload(path, data)
+	if err != nil {
+		return "", err
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return "", err
@@ -155,6 +161,16 @@ func writeJSONTemp(path string, v any) (string, error) {
 	return tmp.Name(), nil
 }
 
+// marshalJSONRecord is the shared on-disk JSON shape: indented, with
+// a trailing newline.
+func marshalJSONRecord(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // createExclusiveJSON atomically materializes path with v's JSON iff
 // path does not exist: the content is written to a temp file first
 // and hard-linked into place, so the exclusive create is also
@@ -173,45 +189,32 @@ func createExclusiveJSON(path string, v any) error {
 		}
 		return err
 	}
-	return nil
+	// Make the new directory entry durable: a claim that evaporates on
+	// reboot would let two workers win the same unit across a crash.
+	return syncDir(filepath.Dir(path))
 }
 
-// WriteJSONAtomic atomically replaces path with v's JSON (temp-write
-// + rename) — the heartbeat-renewal and result-ack write primitive,
-// also reused by the screening service for request records.
+// WriteJSONAtomic atomically and durably replaces path with v's JSON
+// (temp-write + fsync + rename + parent-dir fsync, via commitBytes) —
+// the heartbeat-renewal and result-ack write primitive, also reused
+// by the screening service for request records.
 func WriteJSONAtomic(path string, v any) error {
-	tmp, err := writeJSONTemp(path, v)
+	data, err := marshalJSONRecord(v)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp)
-	return os.Rename(tmp, path)
+	return commitBytes(path, data)
 }
 
-// WriteBytesAtomic atomically replaces path with data (temp-write +
-// fsync + rename) — the raw-bytes member of the atomic-write family,
-// used by the HTTP dispatch server to land uploaded shard bytes and
-// by remote workers to mirror the manifest. A kill at any instant
-// leaves path absent, the old content, or the new content — never a
-// torn file.
+// WriteBytesAtomic atomically and durably replaces path with data
+// (temp-write + fsync + rename + parent-dir fsync, via commitBytes) —
+// the raw-bytes member of the atomic-write family, used by the HTTP
+// dispatch server to land uploaded shard bytes and by remote workers
+// to mirror the manifest. A kill or power loss at any instant leaves
+// path absent, the old content, or the new content — never a torn
+// file.
 func WriteBytesAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return commitBytes(path, data)
 }
 
 // parseEpochName splits "<unit>.e<NNNNN><ext>" into (unit, epoch).

@@ -47,6 +47,11 @@ type UnitRecord struct {
 	// Worker is the worker holding (in-flight) or last holding (done/
 	// failed) the unit's lease in a distributed run.
 	Worker string `json:"worker,omitempty"`
+	// Repairs counts corruption re-queues this unit has consumed from
+	// its lifetime repair budget (Config.MaxRepairs). A unit whose
+	// shards keep failing verification past the budget parks as
+	// failed instead of looping forever.
+	Repairs int `json:"repairs,omitempty"`
 }
 
 // WorkerRecord is the manifest's durable liveness and throughput
@@ -97,6 +102,13 @@ type Manifest struct {
 	// lease-expiry reassignments over the campaign's lifetime.
 	Workers       map[string]*WorkerRecord `json:"workers,omitempty"`
 	Reassignments int                      `json:"reassignments,omitempty"`
+	// Corruptions counts shard files that failed integrity
+	// verification over the campaign's lifetime (each was quarantined,
+	// never folded); Repairs counts the corruption re-queues granted
+	// in response. Repairs < Corruptions means some unit exhausted its
+	// budget and parked as failed.
+	Corruptions int `json:"corruptions,omitempty"`
+	Repairs     int `json:"repairs,omitempty"`
 }
 
 const (
@@ -231,6 +243,8 @@ type Status struct {
 	Poses         int            `json:"poses"`
 	Finalized     bool           `json:"finalized"`
 	Reassignments int            `json:"reassignments"` // lease-expiry reassignments (distributed runs)
+	Corruptions   int            `json:"corruptions"`   // shards that failed verification (quarantined, never folded)
+	Repairs       int            `json:"repairs"`       // corruption re-queues granted under the repair budget
 	PerTarget     []TargetStatus `json:"per_target"`
 	Workers       []WorkerStatus `json:"workers,omitempty"` // distributed workers, sorted by ID
 }
@@ -248,6 +262,8 @@ func (m *Manifest) status(dir string) Status {
 		Total:         len(m.Units),
 		Finalized:     m.Finalized,
 		Reassignments: m.Reassignments,
+		Corruptions:   m.Corruptions,
+		Repairs:       m.Repairs,
 	}
 	for _, w := range m.Workers {
 		ws := WorkerStatus{

@@ -17,6 +17,12 @@ type SyncReport struct {
 	// Reassigned lists units whose lease expired this pass; each was
 	// fenced (epoch bumped) and returned to pending.
 	Reassigned []string
+	// Quarantined lists units whose acked shards failed integrity
+	// verification this pass: the damaged files were moved to
+	// quarantine/ and the unit was re-queued at a fresh epoch (or
+	// parked failed once its repair budget ran out — those appear in
+	// Failed, not here).
+	Quarantined []string
 	// Completed holds the result records folded into the manifest
 	// this pass — the coordinator's feed for real-run statistics.
 	Completed []ResultRecord
@@ -106,6 +112,27 @@ func syncDispatch(dir string, man *Manifest, now time.Time, lease LeaseOptions) 
 			if rec.Err != "" {
 				u.State = UnitFailed
 				rep.Failed++
+			} else if probs := verifyShards(dir, u.ID, rec.Shards); len(probs) > 0 {
+				// The ack names shards that are corrupt or missing on
+				// disk — a torn write the writer never saw, at-rest
+				// decay, or an upload that lied. The unit is NOT done:
+				// quarantine the damage and re-queue at a fresh epoch
+				// (past everything on disk, so the stale ack can never
+				// re-fold), under the unit's repair budget. The poses
+				// are counted zero times now and exactly once when the
+				// re-run's verified shards fold.
+				requeued, qerr := quarantineAndRequeue(dir, man, u, probs, e+1)
+				if qerr != nil {
+					return rep, changed, qerr
+				}
+				if requeued {
+					rep.Quarantined = append(rep.Quarantined, u.ID)
+					rep.Pending++
+				} else {
+					rep.Failed++
+				}
+				changed = true
+				continue
 			} else {
 				u.State = UnitDone
 				u.Poses = rec.Poses

@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -397,5 +400,84 @@ func TestPrefeatureLRU(t *testing.T) {
 	g, w := got[0], first[0]
 	if g.Fusion != w.Fusion || g.Vina != w.Vina || g.MMGBSA != w.MMGBSA || g.CompoundID != w.CompoundID {
 		t.Fatalf("post-eviction score %+v != pre-eviction %+v", g, w)
+	}
+}
+
+// TestRestartHealsCorruptStore pins the self-healing restart: a
+// request record full of garbage and a done request whose result
+// shard took a bit flip must not crash NewEngine. Both requests come
+// back lost with the diagnosis in their error, the damaged files move
+// to quarantine/, and the untouched request restores done with its
+// predictions intact.
+func TestRestartHealsCorruptStore(t *testing.T) {
+	clock := campaign.NewFakeClock(time.Unix(1000, 0))
+	cfg := testConfig(clock)
+	cfg.Dir = t.TempDir()
+	e := newTestEngine(t, cfg)
+	poses := testPoses(t, 8)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		r, err := e.SubmitPoses("protease1", poses[2*i:2*i+2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(cfg.MaxWait)
+		waitDone(t, r)
+		ids = append(ids, r.ID)
+	}
+	e.Drain()
+
+	// Damage request 0's record and request 1's result shard; leave
+	// request 2 untouched.
+	recPath := filepath.Join(cfg.Dir, "requests", ids[0]+".json")
+	if err := os.WriteFile(recPath, []byte("{ not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	shardPath := filepath.Join(cfg.Dir, "results", ids[1]+".h5l")
+	shard, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard[len(shard)/2] ^= 0x40
+	if err := os.WriteFile(shardPath, shard, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := newTestEngine(t, cfg)
+	for i, want := range []string{StateLost, StateLost, StateDone} {
+		r, ok := e2.Request(ids[i])
+		if !ok {
+			t.Fatalf("restarted engine lost request %s", ids[i])
+		}
+		st := e2.Snapshot(r)
+		if st.State != want {
+			t.Fatalf("request %d restored as %q (error %q), want %q", i, st.State, st.Error, want)
+		}
+		if want == StateLost && !strings.Contains(st.Error, "quarantined") {
+			t.Fatalf("lost request %d error %q does not name the quarantine", i, st.Error)
+		}
+	}
+	healthy, _ := e2.Request(ids[2])
+	if preds, err := e2.Results(healthy); err != nil || len(preds) != 2 {
+		t.Fatalf("healthy request restored %d predictions (err %v), want 2", len(preds), err)
+	}
+
+	// The damaged files moved to quarantine/ — preserved, not deleted.
+	for _, name := range []string{ids[0] + ".json", ids[1] + ".h5l"} {
+		if _, err := os.Stat(filepath.Join(cfg.Dir, "quarantine", name)); err != nil {
+			t.Fatalf("damaged file %s not quarantined: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(shardPath); !os.IsNotExist(err) {
+		t.Fatalf("corrupt shard still present at %s (err %v)", shardPath, err)
+	}
+
+	// A third restart is clean: the healed records parse, the lost
+	// requests have no shard to verify, nothing new is quarantined.
+	e2.Drain()
+	e3 := newTestEngine(t, cfg)
+	if r, ok := e3.Request(ids[0]); !ok || e3.Snapshot(r).State != StateLost {
+		t.Fatalf("healed record did not survive a second restart")
 	}
 }

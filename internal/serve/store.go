@@ -75,6 +75,15 @@ type StoredRequest struct {
 
 // Load reads every persisted request record, restoring completed
 // requests' predictions from their result shards.
+//
+// Damage does not crash the restart: a request record that fails to
+// parse, or a done request whose result shard is missing or fails its
+// h5lite checksums, is healed instead — the damaged file is moved to
+// quarantine/ (preserved for post-mortem, never deleted), the request
+// is marked lost with the diagnosis in its error, and the rewritten
+// record is returned alongside the healthy ones. Clients that re-poll
+// a lost request see a terminal state and resubmit; they never see
+// silently wrong scores.
 func (s *Store) Load() ([]StoredRequest, error) {
 	entries, err := os.ReadDir(filepath.Join(s.dir, requestsDirName))
 	if err != nil {
@@ -82,22 +91,51 @@ func (s *Store) Load() ([]StoredRequest, error) {
 	}
 	var out []StoredRequest
 	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") || strings.Contains(ent.Name(), ".tmp") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.dir, requestsDirName, ent.Name()))
+		rel := filepath.Join(requestsDirName, ent.Name())
+		data, err := os.ReadFile(filepath.Join(s.dir, rel))
 		if err != nil {
 			return nil, err
 		}
 		var rec RequestRecord
-		if err := json.Unmarshal(data, &rec); err != nil {
-			return nil, fmt.Errorf("serve: corrupt request record %s: %w", ent.Name(), err)
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID == "" {
+			// The record itself is damaged. Quarantine it and restore
+			// the request (identity from the filename) as lost.
+			if qerr := s.quarantine(rel); qerr != nil {
+				return nil, qerr
+			}
+			id := strings.TrimSuffix(ent.Name(), ".json")
+			rec = RequestRecord{
+				ID:    id,
+				State: StateLost,
+				Error: fmt.Sprintf("serve: request record was corrupt and has been quarantined: %v", err),
+			}
+			if err := s.SaveRequest(rec); err != nil {
+				return nil, err
+			}
+			out = append(out, StoredRequest{Record: rec})
+			continue
 		}
 		sr := StoredRequest{Record: rec}
 		if rec.State == StateDone {
-			f, err := campaign.ReadShardFile(filepath.Join(s.dir, resultsDirName, rec.ID+".h5l"))
+			shardRel := filepath.Join(resultsDirName, rec.ID+".h5l")
+			f, err := campaign.ReadShardFile(filepath.Join(s.dir, shardRel))
 			if err != nil {
-				return nil, fmt.Errorf("serve: request %s is done but its result shard is unreadable: %w", rec.ID, err)
+				// Done with an unreadable shard: quarantine the shard
+				// (when present) and demote the request to lost rather
+				// than crash the restart or serve damaged scores.
+				if qerr := s.quarantine(shardRel); qerr != nil {
+					return nil, qerr
+				}
+				rec.State = StateLost
+				rec.Error = fmt.Sprintf("serve: result shard failed verification and has been quarantined: %v", err)
+				if err := s.SaveRequest(rec); err != nil {
+					return nil, err
+				}
+				out = append(out, StoredRequest{Record: rec})
+				continue
 			}
 			preds, err := screen.ReadShards([]*h5lite.File{f})
 			if err != nil {
@@ -108,4 +146,26 @@ func (s *Store) Load() ([]StoredRequest, error) {
 		out = append(out, sr)
 	}
 	return out, nil
+}
+
+// quarantine moves one store-relative file into quarantine/ with a
+// collision-safe name; a missing source is a no-op.
+func (s *Store) quarantine(rel string) error {
+	src := filepath.Join(s.dir, rel)
+	if _, err := os.Stat(src); err != nil {
+		return nil
+	}
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o777); err != nil {
+		return err
+	}
+	base := filepath.Base(rel)
+	dst := filepath.Join(qdir, base)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); err != nil {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	return os.Rename(src, dst)
 }
